@@ -1,0 +1,60 @@
+// Validation of the claim that "our analysis successfully identifies the
+// data structures that are responsible for most false sharing misses":
+// we cross the static decisions against the simulator's per-datum
+// false-sharing profile (the paper's §3.3 heuristics were developed
+// exactly this way).  For each Figure-3 program we report the fraction of
+// dynamically observed false-sharing misses that fall on data the
+// compiler chose to transform.
+#include "bench_util.h"
+
+using namespace fsopt;
+using namespace fsopt::benchx;
+
+int main() {
+  std::printf("=== Static pinpointing vs dynamic FS profile (128B) ===\n\n");
+  TextTable t({"Program", "FS misses", "on transformed data", "coverage",
+               "top untransformed datum"});
+  for (const std::string& name : fig3_programs()) {
+    const auto& w = workloads::get(name);
+    Compiled n = compile_source(
+        w.unopt, options_for(w, w.fig3_procs, false, false));
+    // Decisions the optimizer would make (computed on the same source).
+    Compiled c = compile_source(
+        w.natural, options_for(w, w.fig3_procs, true, false));
+    AddressMap am = build_address_map(n);
+    auto st = run_trace_study(n, {128}, 32 * 1024, &am);
+
+    u64 total_fs = 0;
+    u64 covered_fs = 0;
+    std::string top_uncovered = "-";
+    u64 top_uncovered_fs = 0;
+    for (const auto& [datum, stats] : st.by_datum.at(128)) {
+      total_fs += stats.false_sharing;
+      // Is this datum (or its symbol) transformed?
+      bool transformed = false;
+      for (const auto& d : c.transforms.decisions) {
+        std::string dn = c.summary.datum_name(d.datum);
+        const GlobalSym* g = c.summary.datum_sym(d.datum);
+        if (datum == dn || datum == g->name) transformed = true;
+      }
+      if (transformed) {
+        covered_fs += stats.false_sharing;
+      } else if (stats.false_sharing > top_uncovered_fs) {
+        top_uncovered_fs = stats.false_sharing;
+        top_uncovered = datum;
+      }
+    }
+    double cov = total_fs > 0 ? static_cast<double>(covered_fs) /
+                                    static_cast<double>(total_fs)
+                              : 0.0;
+    t.add_row({name, std::to_string(total_fs), std::to_string(covered_fs),
+               pct(cov), top_uncovered});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Paper shape to verify: the analysis covers the large majority of\n"
+      "dynamic false-sharing misses; what it misses matches Sec. 5's\n"
+      "stories (Maxflow/Raytrace busy scalars, Topopt's revolving\n"
+      "partition array).\n");
+  return 0;
+}

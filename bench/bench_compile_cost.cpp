@@ -1,0 +1,90 @@
+// §3 compile-cost claim: "the execution time of our algorithms made up
+// only 5% (on average) of the total running time" of the source-to-source
+// restructurer.  We measure, with google-benchmark, the front-end cost
+// (lex/parse/sema — the baseline every compiler pays) against the cost of
+// the added analyses and transformation planning.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "lang/sema.h"
+
+using namespace fsopt;
+using namespace fsopt::benchx;
+
+namespace {
+
+const workloads::Workload& biggest() { return workloads::get("pverify"); }
+
+void BM_FrontEnd(benchmark::State& state) {
+  const auto& w = biggest();
+  ParamOverrides ov(w.sim_overrides.begin(), w.sim_overrides.end());
+  ov["NPROCS"] = 12;
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto prog = parse_and_check(w.natural, diags, ov);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_FrontEnd);
+
+void BM_AnalysesAndTransforms(benchmark::State& state) {
+  const auto& w = biggest();
+  ParamOverrides ov(w.sim_overrides.begin(), w.sim_overrides.end());
+  ov["NPROCS"] = 12;
+  DiagnosticEngine diags;
+  auto prog = parse_and_check(w.natural, diags, ov);
+  for (auto _ : state) {
+    ProgramSummary sum = analyze_program(*prog);
+    SharingReport rep = classify_sharing(sum);
+    TransformSet ts = decide_transforms(rep, sum, {});
+    LayoutPlan plan = build_layout(*prog, ts, {});
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_AnalysesAndTransforms);
+
+void BM_FullCompile(benchmark::State& state) {
+  const auto& w = biggest();
+  CompileOptions o = options_for(w, 12, true, false);
+  for (auto _ : state) {
+    Compiled c = compile_source(w.natural, o);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_FullCompile);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Compile cost (paper Sec. 3: analyses ~5%% of restructurer "
+      "time) ===\n\n");
+  // Print a one-shot ratio table before the detailed benchmark run.
+  for (const std::string& name : fig3_programs()) {
+    const auto& w = workloads::get(name);
+    ParamOverrides ov(w.sim_overrides.begin(), w.sim_overrides.end());
+    ov["NPROCS"] = 12;
+    auto t0 = std::chrono::steady_clock::now();
+    DiagnosticEngine diags;
+    auto prog = parse_and_check(w.natural, diags, ov);
+    auto t1 = std::chrono::steady_clock::now();
+    ProgramSummary sum = analyze_program(*prog);
+    SharingReport rep = classify_sharing(sum);
+    TransformSet ts = decide_transforms(rep, sum, {});
+    LayoutPlan plan = build_layout(*prog, ts, {});
+    auto t2 = std::chrono::steady_clock::now();
+    CodeImage img = compile_code(*prog, plan);
+    auto t3 = std::chrono::steady_clock::now();
+    double front = std::chrono::duration<double>(t1 - t0).count();
+    double ana = std::chrono::duration<double>(t2 - t1).count();
+    double back = std::chrono::duration<double>(t3 - t2).count();
+    std::printf("%-11s analyses %.0f us = %.1f%% of compile\n", name.c_str(),
+                ana * 1e6, 100.0 * ana / (front + ana + back));
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 3: total cache miss rates for the unoptimized and
+// compiler-transformed versions at 16- and 128-byte blocks, with the
+// false-sharing portion shown separately.  12 processors (Topopt: 9),
+// 32 KB caches, trace-driven simulation — the paper's configuration.
+#include "bench_util.h"
+
+using namespace fsopt;
+using namespace fsopt::benchx;
+
+int main() {
+  std::printf("=== Figure 3: miss rates, unoptimized vs compiler ===\n");
+  std::printf("(white bar portion = false-sharing misses)\n\n");
+  TextTable t({"Program", "Block", "N miss", "N fs-part", "C miss",
+               "C fs-part", "FS misses removed"});
+  for (const std::string& name : fig3_programs()) {
+    const auto& w = workloads::get(name);
+    Compiled n = compile_source(
+        w.unopt, options_for(w, w.fig3_procs, false, false));
+    Compiled c = compile_source(
+        w.natural, options_for(w, w.fig3_procs, true, false));
+    auto sn = run_trace_study(n, {16, 128});
+    auto sc = run_trace_study(c, {16, 128});
+    for (i64 b : {i64{16}, i64{128}}) {
+      const MissStats& a = sn.at(b);
+      const MissStats& z = sc.at(b);
+      double removed =
+          a.false_sharing > 0
+              ? 1.0 - static_cast<double>(z.false_sharing) /
+                          static_cast<double>(a.false_sharing)
+              : 0.0;
+      t.add_row({name, std::to_string(b), pct(a.miss_rate()),
+                 pct(a.false_sharing_rate()), pct(z.miss_rate()),
+                 pct(z.false_sharing_rate()), pct(removed)});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Paper shape to verify: false sharing grows with block size; the\n"
+      "transformations remove most of it at every block size, and the\n"
+      "total miss rate falls for all programs.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Related-work comparison (§6): Dubois et al. attack false sharing in
+// *hardware* by invalidating cache sub-blocks (words) instead of whole
+// blocks, which "totally eliminated" false-sharing misses at the cost of
+// per-word valid bits and extra traffic.  We reproduce that comparison:
+// unoptimized software on word-invalidate hardware vs. compiler-
+// transformed software on ordinary block-invalidate hardware.
+//
+// Also sweeps associativity to show the Figure-3 results are not an
+// artifact of direct-mapped caches.
+#include "bench_util.h"
+
+using namespace fsopt;
+using namespace fsopt::benchx;
+
+namespace {
+
+MissStats run_with(const Compiled& c, i64 block, i64 assoc, bool word_inv) {
+  CacheParams p{c.nprocs(), 32 * 1024, block, c.code.total_bytes, assoc,
+                word_inv};
+  CacheSim sim(p);
+  MachineOptions mo;
+  mo.sink = &sim;
+  Machine m(c.code, mo);
+  m.run();
+  return sim.stats();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Software transformations vs word-invalidate hardware (128B) "
+      "===\n\n");
+  TextTable t({"Program", "N fs-misses", "N+word-inv fs", "C fs-misses",
+               "N misses", "N+word-inv", "C misses"});
+  for (const std::string& name : fig3_programs()) {
+    const auto& w = workloads::get(name);
+    Compiled n = compile_source(
+        w.unopt, options_for(w, w.fig3_procs, false, false));
+    Compiled c = compile_source(
+        w.natural, options_for(w, w.fig3_procs, true, false));
+    MissStats base = run_with(n, 128, 1, false);
+    MissStats hw = run_with(n, 128, 1, true);
+    MissStats sw = run_with(c, 128, 1, false);
+    t.add_row({name, std::to_string(base.false_sharing),
+               std::to_string(hw.false_sharing),
+               std::to_string(sw.false_sharing),
+               std::to_string(base.misses()), std::to_string(hw.misses()),
+               std::to_string(sw.misses())});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Paper shape to verify: sub-block invalidation removes ALL false\n"
+      "sharing (at hardware cost); the compiler transformations remove\n"
+      "most of it with no hardware change.\n\n");
+
+  std::printf("=== Associativity sweep (fmm, unopt, 128B) ===\n\n");
+  const auto& w = workloads::get("fmm");
+  Compiled n = compile_source(w.unopt,
+                              options_for(w, w.fig3_procs, false, false));
+  Compiled c = compile_source(w.natural,
+                              options_for(w, w.fig3_procs, true, false));
+  TextTable t2({"assoc", "N miss rate", "N fs rate", "C miss rate"});
+  for (i64 a : {i64{1}, i64{2}, i64{4}, i64{8}}) {
+    MissStats sn = run_with(n, 128, a, false);
+    MissStats sc = run_with(c, 128, a, false);
+    t2.add_row({std::to_string(a), pct(sn.miss_rate()),
+                pct(sn.false_sharing_rate()), pct(sc.miss_rate())});
+  }
+  std::printf("%s\n", t2.render().c_str());
+  std::printf(
+      "False sharing is coherence traffic: higher associativity removes\n"
+      "conflict misses but cannot touch the false-sharing component.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Lock-placement ablation (§3.2 "Locks"): the paper argues that locks
+// should always be padded to their own coherence unit, *against*
+// Torrellas et al.'s co-allocation of locks with the data they protect:
+// waiting processors spinning on the lock word steal the holder's block,
+// so its writes to the protected data cause extra invalidations and the
+// waiters' rereads extra misses.
+//
+// Controlled experiment: the same critical-section kernel with three lock
+// placements that differ ONLY in declaration layout —
+//   unpadded:      lock array elements packed together
+//   padded:        fsopt's policy (lock-pad transformation)
+//   co-allocated:  each lock inside the record it guards
+#include "bench_util.h"
+
+using namespace fsopt;
+using namespace fsopt::benchx;
+
+namespace {
+
+// Shared kernel shape: NPROCS processes hammer NB striped counters.
+const char* kUnpadded = R"PPL(
+param NPROCS = 8;
+param NB = 8;
+param ITERS = 200;
+lock_t lk[NB];
+real val[NB];
+real aux[NB];
+void main(int pid) {
+  int i;
+  int b;
+  for (i = 0; i < ITERS; i = i + 1) {
+    b = (pid + i) % NB;
+    lock(lk[b]);
+    val[b] = val[b] + 1.0;
+    aux[b] = aux[b] + val[b] * 0.5;
+    val[b] = val[b] * 0.75 + aux[b];
+    aux[b] = aux[b] + val[b] * 0.25;
+    val[b] = val[b] + 1.0;
+    aux[b] = aux[b] - val[b] * 0.125;
+    unlock(lk[b]);
+  }
+}
+)PPL";
+
+const char* kCoallocated = R"PPL(
+param NPROCS = 8;
+param NB = 8;
+param ITERS = 200;
+struct Cell {
+  lock_t lk;
+  real val;
+  real aux;
+};
+struct Cell cells[NB];
+void main(int pid) {
+  int i;
+  int b;
+  for (i = 0; i < ITERS; i = i + 1) {
+    b = (pid + i) % NB;
+    lock(cells[b].lk);
+    cells[b].val = cells[b].val + 1.0;
+    cells[b].aux = cells[b].aux + cells[b].val * 0.5;
+    cells[b].val = cells[b].val * 0.75 + cells[b].aux;
+    cells[b].aux = cells[b].aux + cells[b].val * 0.25;
+    cells[b].val = cells[b].val + 1.0;
+    cells[b].aux = cells[b].aux - cells[b].val * 0.125;
+    unlock(cells[b].lk);
+  }
+}
+)PPL";
+
+i64 run(const char* src, i64 procs, bool lock_pad_only) {
+  CompileOptions o;
+  o.overrides["NPROCS"] = procs;
+  if (lock_pad_only) {
+    o.optimize = true;
+    o.decision.enable_group_transpose = false;
+    o.decision.enable_indirection = false;
+    o.decision.enable_pad_align = false;
+    o.decision.enable_lock_pad = true;
+  }
+  Compiled c = compile_source(src, o);
+  KsrParams kp;
+  kp.nprocs = procs;
+  kp.total_bytes = c.code.total_bytes;
+  KsrMemorySystem mem(kp);
+  MachineOptions mo;
+  mo.memsys = &mem;
+  // Tight test-and-test-and-set spinning (the behaviour the §3.2 lock
+  // discussion is about: waiters continually rereading the lock word).
+  mo.spin_interval = 20;
+  mo.spin_backoff_max = 2;
+  Machine m(c.code, mo);
+  m.run();
+  return m.finish_cycles();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Lock placement ablation (same kernel, three layouts) "
+              "===\n\n");
+  TextTable t({"procs", "unpadded locks", "padded locks (fsopt)",
+               "co-allocated with data"});
+  for (i64 p : {i64{4}, i64{8}, i64{16}, i64{32}}) {
+    i64 unpadded = run(kUnpadded, p, false);
+    i64 padded = run(kUnpadded, p, true);
+    i64 coalloc = run(kCoallocated, p, false);
+    t.add_row({std::to_string(p), std::to_string(unpadded),
+               std::to_string(padded), std::to_string(coalloc)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Cycles to completion; lower is better.  Paper shape to verify:\n"
+      "under contention (here 16+ processors), padded locks beat both\n"
+      "unpadded (adjacent locks falsely share) and co-allocated (waiters'\n"
+      "spins steal the data block from the critical-section holder).  At\n"
+      "low contention co-allocation's spatial locality wins — which is\n"
+      "exactly the tradeoff the paper describes when departing from\n"
+      "Torrellas et al.'s placement.\n");
+  return 0;
+}

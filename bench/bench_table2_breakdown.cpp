@@ -1,0 +1,91 @@
+// Table 2: false-sharing miss-rate reduction broken down by
+// transformation, averaged over 8-256 byte blocks (the paper's range).
+//
+// Attribution method: for each program we measure false-sharing misses
+// with no transformations, with all transformations, and with exactly one
+// transformation family enabled at a time; a family's contribution is the
+// share of false-sharing misses it removes on its own, rescaled so the
+// per-family shares sum to the all-transformations total (the paper's
+// per-structure attribution sums the same way).
+#include "bench_util.h"
+
+using namespace fsopt;
+using namespace fsopt::benchx;
+
+namespace {
+
+struct Shares {
+  double total = 0.0;  // fraction of FS misses removed with everything on
+  double gt = 0.0;
+  double indir = 0.0;
+  double pad = 0.0;
+  double locks = 0.0;
+};
+
+double avg_fs(const std::string& source, const CompileOptions& o) {
+  Compiled c = compile_source(source, o);
+  auto st = run_trace_study(c, table2_block_sizes());
+  std::vector<double> rates;
+  for (auto& [b, s] : st.by_block)
+    rates.push_back(static_cast<double>(s.false_sharing));
+  return mean(rates);
+}
+
+Shares measure(const workloads::Workload& w) {
+  CompileOptions none = options_for(w, w.fig3_procs, false, false);
+  CompileOptions all = options_for(w, w.fig3_procs, true, false);
+  double fs_none = avg_fs(w.unopt, none);
+  double fs_all = avg_fs(w.natural, all);
+
+  Shares out;
+  if (fs_none <= 0) return out;
+  out.total = 1.0 - fs_all / fs_none;
+
+  auto only = [&](bool gt, bool in, bool pa, bool lk) {
+    CompileOptions o = all;
+    o.decision.enable_group_transpose = gt;
+    o.decision.enable_indirection = in;
+    o.decision.enable_pad_align = pa;
+    o.decision.enable_lock_pad = lk;
+    double fs = avg_fs(w.natural, o);
+    return std::max(0.0, 1.0 - fs / fs_none);
+  };
+  double g = only(true, false, false, false);
+  double i = only(false, true, false, false);
+  double p = only(false, false, true, false);
+  double l = only(false, false, false, true);
+  double sum = g + i + p + l;
+  if (sum > 0) {
+    // Rescale individual contributions onto the combined total.
+    double scale = out.total / sum;
+    out.gt = g * scale;
+    out.indir = i * scale;
+    out.pad = p * scale;
+    out.locks = l * scale;
+  }
+  return out;
+}
+
+std::string cell(double v) { return v < 0.0005 ? "-" : pct(v); }
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 2: FS reduction by transformation (8-256B avg) ===\n\n");
+  TextTable t({"Program", "Total", "G&T", "Indirection", "Pad&Align",
+               "Locks", "| paper total", "G&T", "Ind", "Pad", "Locks"});
+  for (const auto& pr : paper_table2()) {
+    const auto& w = workloads::get(pr.name);
+    Shares s = measure(w);
+    t.add_row({pr.name, cell(s.total), cell(s.gt), cell(s.indir),
+               cell(s.pad), cell(s.locks), std::string("| ") + pr.total,
+               pr.gt, pr.indir, pr.pad, pr.locks});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Paper shape to verify: every program's false sharing drops; no\n"
+      "single transformation is responsible — G&T dominates the SPLASH2\n"
+      "programs, indirection dominates Pverify, pad&align dominates\n"
+      "Maxflow, and lock padding contributes broadly.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table 3: maximum speedup and the processor count at which it occurs,
+// for the original (N), compiler-optimized (C) and programmer-optimized
+// (P) versions of all ten programs.
+#include "bench_util.h"
+
+using namespace fsopt;
+using namespace fsopt::benchx;
+
+int main() {
+  std::printf("=== Table 3: maximum speedups (ours | paper) ===\n\n");
+  TextTable t({"Program", "Original", "Compiler", "Programmer",
+               "| paper orig", "compiler", "programmer"});
+  for (const auto& pr : paper_table3()) {
+    const auto& w = workloads::get(pr.name);
+    CompileOptions base = options_for(w, 1, false, /*timing=*/true);
+    // The speedup baseline: uniprocessor run of the unoptimized version
+    // when one exists, else of the natural (pre-layout) source.
+    std::string base_src = w.has_unopt() ? w.unopt : w.natural;
+    i64 bl = baseline_cycles(base_src, base);
+    CompileOptions copt = base;
+    copt.optimize = true;
+
+    std::string ncell = "-";
+    if (w.has_unopt()) {
+      auto [s, at] = peak_speedup(w.unopt, base, bl);
+      ncell = speedup_cell(s, at);
+    }
+    auto [cs, cat] = peak_speedup(w.natural, copt, bl);
+    std::string pcell = "-";
+    if (w.has_prog()) {
+      auto [s, at] = peak_speedup(w.prog, base, bl);
+      pcell = speedup_cell(s, at);
+    }
+    t.add_row({pr.name, ncell, speedup_cell(cs, cat), pcell,
+               std::string("| ") + pr.original, pr.compiler,
+               pr.programmer});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Paper shape to verify: the compiler version achieves the highest\n"
+      "maximum speedup for every program, often at a larger processor\n"
+      "count; for several programs it more than doubles the unoptimized\n"
+      "maximum, and it beats the programmer everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each bench binary regenerates one table or figure of the paper
+// (Jeremiassen & Eggers, PPoPP'95) on the fsopt substrate and prints the
+// paper's reported numbers next to ours where applicable.  Absolute
+// magnitudes differ (our substrate is a condensed kernel suite on a
+// simulated KSR2, not the authors' testbed); the comparisons of interest
+// are the *shapes*: who wins, by roughly what factor, where curves
+// reverse.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "support/stats.h"
+#include "workloads/workloads.h"
+
+namespace fsopt::benchx {
+
+/// Processor counts used for speedup sweeps (all divide the workload
+/// sizes).  The paper's KSR2 had 56 processors; we sweep to 48.
+inline std::vector<i64> sweep_procs() { return {1, 2, 4, 8, 12, 16, 24, 32, 48}; }
+
+/// Compile options for a workload version at a given processor count.
+inline CompileOptions options_for(const workloads::Workload& w, i64 nprocs,
+                                  bool optimize, bool timing) {
+  CompileOptions o;
+  o.overrides = timing ? w.time_overrides : w.sim_overrides;
+  o.overrides["NPROCS"] = nprocs;
+  o.optimize = optimize;
+  return o;
+}
+
+/// Peak speedup of one source over the sweep, relative to `base_cycles`.
+inline std::pair<double, i64> peak_speedup(const std::string& source,
+                                           const CompileOptions& base,
+                                           i64 base_cycles) {
+  SpeedupCurve c = speedup_sweep(source, sweep_procs(), base, base_cycles);
+  return c.peak();
+}
+
+/// Paper-reported values for side-by-side printing.
+struct PaperSpeedups {
+  const char* name;
+  const char* original;    // "1.4 (8)" or "-"
+  const char* compiler;
+  const char* programmer;  // "-" when unavailable
+};
+
+inline const std::vector<PaperSpeedups>& paper_table3() {
+  static const std::vector<PaperSpeedups> kTable = {
+      {"maxflow", "1.4 (8)", "4.3 (16)", "-"},
+      {"pverify", "2.5 (16)", "5.9 (16)", "3.5 (8)"},
+      {"topopt", "9.2 (44)", "10.3 (28)", "10.2 (28)"},
+      {"fmm", "16.4 (20)", "33.6 (48+)", "16.4 (20)"},
+      {"radiosity", "7.0 (8)", "19.2 (28)", "7.4 (8)"},
+      {"raytrace", "7.0 (8)", "9.6 (12)", "9.2 (12)"},
+      {"locusroute", "-", "12.3 (20)", "12.0 (20)"},
+      {"mp3d", "-", "2.9 (28)", "1.3 (4)"},
+      {"pthor", "-", "2.8 (4)", "2.2 (4)"},
+      {"water", "-", "9.9 (40)", "4.6 (12)"},
+  };
+  return kTable;
+}
+
+/// Paper Table 2: total FS reduction and per-transformation fractions.
+struct PaperTable2 {
+  const char* name;
+  const char* total;
+  const char* gt;
+  const char* indir;
+  const char* pad;
+  const char* locks;
+};
+
+inline const std::vector<PaperTable2>& paper_table2() {
+  static const std::vector<PaperTable2> kTable = {
+      {"maxflow", "56.5%", "-", "-", "49.2%", "7.3%"},
+      {"pverify", "91.2%", "6.4%", "81.6%", "-", "3.1%"},
+      {"topopt", "79.9%", "61.3%", "18.6%", "-", "-"},
+      {"fmm", "90.8%", "84.8%", "-", "-", "6.0%"},
+      {"radiosity", "93.5%", "85.6%", "-", "1.0%", "6.8%"},
+      {"raytrace", "78.3%", "70.4%", "-", "3.3%", "4.6%"},
+  };
+  return kTable;
+}
+
+/// The six programs with both N and C versions (Figure 3 / Table 2).
+inline std::vector<std::string> fig3_programs() {
+  return {"maxflow", "pverify", "topopt", "fmm", "radiosity", "raytrace"};
+}
+
+inline std::string speedup_cell(double s, i64 at) {
+  return fixed(s, 1) + " (" + std::to_string(at) + ")";
+}
+
+}  // namespace fsopt::benchx

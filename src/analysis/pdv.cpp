@@ -1,0 +1,94 @@
+#include "analysis/pdv.h"
+
+#include <map>
+
+namespace fsopt {
+
+namespace {
+
+/// True if `e` is affine over the current PDV set with a nonzero pid-varying
+/// component (i.e., the value differs across processes), or is a constant.
+/// Returns: 0 = not PDV-affine, 1 = constant, 2 = pid-varying PDV-affine.
+int classify_expr(const Expr& e, const std::set<const LocalSym*>& pdvs) {
+  AffineEnv env;
+  for (const LocalSym* v : pdvs) env.make_opaque(v);
+  Affine a = affine_of(e, env);
+  if (!a.valid()) return 0;
+  if (a.is_constant()) return 1;
+  return 2;
+}
+
+}  // namespace
+
+PdvResult analyze_pdvs(const Program& prog, const CallGraph& cg) {
+  PdvResult out;
+  if (prog.main == nullptr || prog.main->params.empty()) return out;
+  out.pid = prog.main->params[0];
+  out.pdvs.insert(out.pid);
+
+  // Iterate to a fixpoint: PDV-ness can flow main -> callees (formals) and
+  // through locals assigned from PDVs.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Locals: exactly one static assignment (or a decl initializer) whose
+    // rhs is PDV-affine and pid-varying.
+    for (const auto& fn : prog.funcs) {
+      if (!fn->body) continue;
+      std::map<const LocalSym*, int> assign_count;
+      std::map<const LocalSym*, const Expr*> sole_rhs;
+      for_each_stmt(*fn->body, [&](const Stmt& s) {
+        const LocalSym* target = nullptr;
+        const Expr* rhs = nullptr;
+        if (s.kind == StmtKind::kLocalDecl && s.init != nullptr) {
+          target = s.local;
+          rhs = s.init.get();
+        } else if (s.kind == StmtKind::kAssign &&
+                   s.target->kind == ExprKind::kVar &&
+                   s.target->local != nullptr) {
+          target = s.target->local;
+          rhs = s.value.get();
+        }
+        if (target == nullptr) return;
+        int n = ++assign_count[target];
+        sole_rhs[target] = n == 1 ? rhs : nullptr;
+      });
+      for (const auto& [local, n] : assign_count) {
+        if (n != 1 || sole_rhs[local] == nullptr) continue;
+        if (out.pdvs.count(local) != 0) continue;
+        if (classify_expr(*sole_rhs[local], out.pdvs) == 2) {
+          out.pdvs.insert(local);
+          changed = true;
+        }
+      }
+    }
+
+    // Formals: every call site passes a pid-varying PDV-affine actual.
+    for (const auto& fn : prog.funcs) {
+      for (size_t pi = 0; pi < fn->params.size(); ++pi) {
+        const LocalSym* formal = fn->params[pi];
+        if (fn.get() == prog.main) continue;
+        if (out.pdvs.count(formal) != 0) continue;
+        bool all_pdv = true;
+        bool any_site = false;
+        for (const CallSite& site : cg.sites()) {
+          if (site.callee != fn.get()) continue;
+          any_site = true;
+          if (pi >= site.call->children.size() ||
+              classify_expr(*site.call->children[pi], out.pdvs) != 2) {
+            all_pdv = false;
+            break;
+          }
+        }
+        if (any_site && all_pdv) {
+          out.pdvs.insert(formal);
+          changed = true;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fsopt

@@ -1,0 +1,28 @@
+// Stage 1a: detection of process differentiating variables (PDVs).
+//
+// A PDV is a private variable whose value differs across processes and is
+// invariant throughout each process's lifetime (§2).  `pid`, the parameter
+// of main, is the canonical PDV; locals assigned once from a PDV-affine
+// expression inherit PDV-ness; function formals are PDVs when every call
+// site passes a PDV-affine actual whose pid coefficient is nonzero.
+#pragma once
+
+#include <set>
+
+#include "cfg/callgraph.h"
+#include "rsd/affine.h"
+
+namespace fsopt {
+
+struct PdvResult {
+  /// main's pid parameter (null if the program has no valid main).
+  const LocalSym* pid = nullptr;
+  /// All locals (across all functions) that are PDVs, including `pid`.
+  std::set<const LocalSym*> pdvs;
+
+  bool is_pdv(const LocalSym* v) const { return pdvs.count(v) != 0; }
+};
+
+PdvResult analyze_pdvs(const Program& prog, const CallGraph& cg);
+
+}  // namespace fsopt

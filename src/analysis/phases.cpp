@@ -1,0 +1,66 @@
+#include "analysis/phases.h"
+
+#include <algorithm>
+
+namespace fsopt {
+
+namespace {
+
+class PhaseWalker {
+ public:
+  explicit PhaseWalker(PhaseInfo& out) : out_(out) {}
+
+  // Returns the phase current after executing `s` starting in phase `cur`.
+  int walk(const Stmt& s, int cur, int if_depth) {
+    out_.stmt_phase[&s] = cur;
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        for (const auto& c : s.stmts) cur = walk(*c, cur, if_depth);
+        return cur;
+      }
+      case StmtKind::kBarrier: {
+        int next = out_.phase_count++;
+        out_.phase_after_barrier[&s] = next;
+        out_.edges.push_back({cur, next});
+        if (if_depth > 0) out_.suspicious_barriers.push_back(&s);
+        return next;
+      }
+      case StmtKind::kIf: {
+        int t = walk(*s.then_block, cur, if_depth + 1);
+        int e = s.else_block ? walk(*s.else_block, cur, if_depth + 1) : cur;
+        // If a branch advanced the phase, the merged continuation runs in
+        // the latest phase reached (conservative).
+        return std::max(t, e);
+      }
+      case StmtKind::kWhile: {
+        int end = walk(*s.body, cur, if_depth);
+        if (end != cur) out_.edges.push_back({end, cur});  // loop back edge
+        return end;
+      }
+      case StmtKind::kFor: {
+        out_.stmt_phase[s.init_stmt.get()] = cur;
+        int end = walk(*s.body, cur, if_depth);
+        out_.stmt_phase[s.step_stmt.get()] = end;
+        if (end != cur) out_.edges.push_back({end, cur});
+        return end;
+      }
+      default:
+        return cur;
+    }
+  }
+
+ private:
+  PhaseInfo& out_;
+};
+
+}  // namespace
+
+PhaseInfo analyze_phases(const Program& prog) {
+  PhaseInfo out;
+  if (prog.main == nullptr || prog.main->body == nullptr) return out;
+  PhaseWalker w(out);
+  w.walk(*prog.main->body, 0, 0);
+  return out;
+}
+
+}  // namespace fsopt

@@ -1,0 +1,40 @@
+// Stage 2: non-concurrency analysis.
+//
+// Barriers partition main into phases that cannot execute concurrently
+// (Masticola/Ryder-style non-concurrency, specialized to the global-barrier
+// discipline of §2).  Each statement of main is assigned the phase it
+// executes in on the first pass through the code; a loop whose body
+// contains barriers contributes a back edge in the phase graph (its header
+// statements execute in the last intra-loop phase on later iterations —
+// the standard first-iteration approximation).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace fsopt {
+
+struct PhaseInfo {
+  /// Number of phases (number of barrier sites in main + 1).
+  int phase_count = 1;
+  /// Phase entered *after* each barrier statement.
+  std::map<const Stmt*, int> phase_after_barrier;
+  /// Phase each statement of main executes in (first-iteration assignment).
+  std::map<const Stmt*, int> stmt_phase;
+  /// Phase-graph edges, including loop back edges (from, to).
+  std::vector<std::pair<int, int>> edges;
+  /// Barriers found in divergent positions (inside if/else); the
+  /// non-concurrency result is conservative around them.
+  std::vector<const Stmt*> suspicious_barriers;
+
+  int phase_of(const Stmt& s) const {
+    auto it = stmt_phase.find(&s);
+    return it != stmt_phase.end() ? it->second : 0;
+  }
+};
+
+PhaseInfo analyze_phases(const Program& prog);
+
+}  // namespace fsopt

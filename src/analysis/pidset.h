@@ -1,0 +1,70 @@
+// A set of process ids, used to express which processes can execute a
+// statement (per-process control-flow analysis) and which processes an
+// access record applies to.  Capped at 64 processes — the paper's KSR2 had
+// 56; every experiment fits.
+#pragma once
+
+#include <string>
+
+#include "support/common.h"
+
+namespace fsopt {
+
+class PidSet {
+ public:
+  static constexpr i64 kMaxProcs = 64;
+
+  PidSet() = default;
+
+  static PidSet none() { return PidSet(); }
+  static PidSet all(i64 n) {
+    FSOPT_CHECK(n >= 0 && n <= kMaxProcs, "process count out of range");
+    PidSet s;
+    s.bits_ = n == 64 ? ~0ULL : ((1ULL << n) - 1);
+    return s;
+  }
+  static PidSet single(i64 p) {
+    FSOPT_CHECK(p >= 0 && p < kMaxProcs, "pid out of range");
+    PidSet s;
+    s.bits_ = 1ULL << p;
+    return s;
+  }
+
+  bool test(i64 p) const {
+    return p >= 0 && p < kMaxProcs && (bits_ >> p & 1) != 0;
+  }
+  void set(i64 p) {
+    FSOPT_CHECK(p >= 0 && p < kMaxProcs, "pid out of range");
+    bits_ |= 1ULL << p;
+  }
+  int count() const { return __builtin_popcountll(bits_); }
+  bool empty() const { return bits_ == 0; }
+  u64 raw() const { return bits_; }
+
+  PidSet operator&(PidSet o) const { return PidSet(bits_ & o.bits_); }
+  PidSet operator|(PidSet o) const { return PidSet(bits_ | o.bits_); }
+  /// Complement within a universe of `n` processes.
+  PidSet complement(i64 n) const {
+    return PidSet(all(n).bits_ & ~bits_);
+  }
+  bool operator==(PidSet o) const { return bits_ == o.bits_; }
+  bool operator!=(PidSet o) const { return bits_ != o.bits_; }
+
+  std::string str() const {
+    std::string s = "{";
+    bool first = true;
+    for (i64 p = 0; p < kMaxProcs; ++p) {
+      if (!test(p)) continue;
+      if (!first) s += ",";
+      s += std::to_string(p);
+      first = false;
+    }
+    return s + "}";
+  }
+
+ private:
+  explicit PidSet(u64 bits) : bits_(bits) {}
+  u64 bits_ = 0;
+};
+
+}  // namespace fsopt

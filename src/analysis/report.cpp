@@ -1,0 +1,269 @@
+#include "analysis/report.h"
+
+#include <map>
+#include <sstream>
+
+namespace fsopt {
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kNone: return "none";
+    case Pattern::kPerProcess: return "per-process";
+    case Pattern::kSharedLocal: return "shared+local";
+    case Pattern::kSharedNonLocal: return "shared";
+  }
+  return "?";
+}
+
+const DatumClass* SharingReport::find(const DatumKey& k) const {
+  for (const auto& d : data)
+    if (d.datum == k) return &d;
+  return nullptr;
+}
+
+namespace {
+
+/// Pids to test pairwise for disjointness.  Exhaustive when small;
+/// otherwise a deterministic sample that includes the edges and a few
+/// interior values (catches mod-k partitionings up to k=8).
+std::vector<i64> sample_pids(i64 nprocs) {
+  std::vector<i64> out;
+  if (nprocs <= 16) {
+    for (i64 p = 0; p < nprocs; ++p) out.push_back(p);
+    return out;
+  }
+  for (i64 p : {i64{0}, i64{1}, i64{2}, i64{3}, i64{5}, i64{8},
+                nprocs / 2, nprocs - 2, nprocs - 1})
+    if (p >= 0 && p < nprocs) out.push_back(p);
+  return out;
+}
+
+struct DatumRecords {
+  std::vector<const AccessRecord*> reads;
+  std::vector<const AccessRecord*> writes;
+  double read_weight = 0.0;
+  double write_weight = 0.0;
+  double lock_weight = 0.0;
+  std::map<int, double> phase_weight;
+
+  int dominant_phase() const {
+    int best = 0;
+    double bw = -1.0;
+    for (const auto& [ph, w] : phase_weight) {
+      if (w > bw) {
+        bw = w;
+        best = ph;
+      }
+    }
+    return best;
+  }
+};
+
+/// Records of the dominant phase only (all records if none match, which
+/// cannot happen for a datum with any access).
+std::vector<const AccessRecord*> in_phase(
+    const std::vector<const AccessRecord*>& recs, int phase) {
+  std::vector<const AccessRecord*> out;
+  for (const AccessRecord* r : recs)
+    if (r->phase == phase) out.push_back(r);
+  return out;
+}
+
+/// Disjointness of a set of records across process pairs.
+/// Returns true when for all p != q in the sample, the union of sections
+/// accessed by p is disjoint from the union accessed by q.
+bool per_process_disjoint(const std::vector<const AccessRecord*>& recs,
+                          const ProgramSummary& sum, const DatumKey& key,
+                          const std::vector<i64>& pids) {
+  std::vector<i64> extents = sum.datum_extents(key);
+  const LocalSym* pdv = sum.pdvs.pid;
+  // Precompute boxes per (record, pid).
+  std::map<std::pair<const AccessRecord*, i64>,
+           std::vector<ConcreteRange>>
+      boxes;
+  for (const AccessRecord* r : recs)
+    for (i64 p : pids)
+      if (r->pids.test(p)) boxes[{r, p}] = r->rsd.concretize(pdv, p, extents);
+
+  for (i64 p : pids) {
+    for (i64 q : pids) {
+      if (p >= q) continue;
+      for (const AccessRecord* a : recs) {
+        if (!a->pids.test(p)) continue;
+        for (const AccessRecord* b : recs) {
+          if (!b->pids.test(q)) continue;
+          const auto& ba = boxes[{a, p}];
+          const auto& bb = boxes[{b, q}];
+          if (ba.empty()) return false;  // scalar: same location
+          if (!boxes_disjoint(ba, bb)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Try to attribute per-process disjointness to a single dimension: one
+/// whose projections are pairwise disjoint across the sampled pids.
+int find_pid_dim(const std::vector<const AccessRecord*>& recs,
+                 const ProgramSummary& sum, const DatumKey& key,
+                 const std::vector<i64>& pids) {
+  std::vector<i64> extents = sum.datum_extents(key);
+  if (extents.empty()) return -1;
+  const LocalSym* pdv = sum.pdvs.pid;
+  for (size_t d = 0; d < extents.size(); ++d) {
+    bool ok = true;
+    for (i64 p : pids) {
+      for (i64 q : pids) {
+        if (p >= q || !ok) continue;
+        for (const AccessRecord* a : recs) {
+          if (!a->pids.test(p) || !ok) continue;
+          for (const AccessRecord* b : recs) {
+            if (!b->pids.test(q)) continue;
+            auto ba = a->rsd.concretize(pdv, p, extents);
+            auto bb = b->rsd.concretize(pdv, q, extents);
+            if (ranges_intersect(ba[d], bb[d])) {
+              ok = false;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (ok) return static_cast<int>(d);
+  }
+  return -1;
+}
+
+int count_participants(const std::vector<const AccessRecord*>& recs,
+                       i64 nprocs) {
+  PidSet u;
+  for (const AccessRecord* r : recs) u = u | r->pids;
+  return (u & PidSet::all(nprocs)).count();
+}
+
+/// Aggregate weight of a record: its per-process static-profile estimate
+/// times the number of processes that execute it (per-process profiling,
+/// §3.1).
+double agg_weight(const AccessRecord& r, i64 nprocs) {
+  int n = (r.pids & PidSet::all(nprocs)).count();
+  return r.weight * static_cast<double>(std::max(n, 1));
+}
+
+/// Fraction of weight whose innermost dimension sweeps a unit-stride run.
+double locality_fraction(const std::vector<const AccessRecord*>& recs,
+                         i64 nprocs) {
+  double total = 0.0;
+  double local = 0.0;
+  for (const AccessRecord* r : recs) {
+    double w = agg_weight(*r, nprocs);
+    total += w;
+    if (r->rsd.rank() == 0) continue;  // scalar: no spatial reuse of its own
+    if (r->rsd.dims().back().has_unit_stride_run(kLocalityRunLength))
+      local += w;
+  }
+  return total > 0 ? local / total : 0.0;
+}
+
+}  // namespace
+
+SharingReport classify_sharing(const ProgramSummary& sum) {
+  std::map<DatumKey, DatumRecords> by_datum;
+  for (const AccessRecord& r : sum.records) {
+    DatumRecords& d = by_datum[r.datum];
+    double w = agg_weight(r, sum.nprocs);
+    if (r.is_lock_op) {
+      d.lock_weight += w;
+      continue;  // lock traffic is accounted separately; locks are always
+                 // padded regardless of pattern (§3.2)
+    }
+    if (r.is_write) {
+      d.writes.push_back(&r);
+      d.write_weight += w;
+    } else {
+      d.reads.push_back(&r);
+      d.read_weight += w;
+    }
+    d.phase_weight[r.phase] += w;
+  }
+
+  std::vector<i64> pids = sample_pids(sum.nprocs);
+
+  SharingReport out;
+  for (const auto& [key, recs] : by_datum) {
+    DatumClass dc;
+    dc.datum = key;
+    dc.sym = sum.datum_sym(key);
+    dc.name = sum.datum_name(key);
+    dc.extents = sum.datum_extents(key);
+    dc.is_lock = key.field < 0
+                     ? dc.sym->is_lock()
+                     : dc.sym->elem.is_struct &&
+                           dc.sym->elem.strct->fields[static_cast<size_t>(
+                                                          key.field)]
+                                   .kind == ScalarKind::kLock;
+    dc.read_weight = recs.read_weight;
+    dc.write_weight = recs.write_weight;
+    dc.lock_weight = recs.lock_weight;
+    dc.dominant_phase = recs.dominant_phase();
+    std::vector<const AccessRecord*> dwrites =
+        in_phase(recs.writes, dc.dominant_phase);
+    std::vector<const AccessRecord*> dreads =
+        in_phase(recs.reads, dc.dominant_phase);
+    dc.writer_count = count_participants(dwrites, sum.nprocs);
+    dc.reader_count = count_participants(dreads, sum.nprocs);
+
+    if (dwrites.empty()) {
+      dc.writes = Pattern::kNone;
+    } else if (dc.writer_count <= 1 ||
+               per_process_disjoint(dwrites, sum, key, pids)) {
+      dc.writes = Pattern::kPerProcess;
+      dc.pid_dim = find_pid_dim(dwrites, sum, key, pids);
+      if (dc.pid_dim >= 0 && key.field >= 0) {
+        // Is the pid dim the field-array dim?  Field dim is the last one
+        // when the field has an array length.
+        const StructField& f =
+            dc.sym->elem.strct->fields[static_cast<size_t>(key.field)];
+        dc.pid_dim_is_field_dim =
+            f.array_len > 0 &&
+            dc.pid_dim == static_cast<int>(dc.extents.size()) - 1;
+      }
+    } else {
+      dc.writes = locality_fraction(dwrites, sum.nprocs) >= 0.5
+                      ? Pattern::kSharedLocal
+                      : Pattern::kSharedNonLocal;
+    }
+
+    if (dreads.empty()) {
+      dc.reads = Pattern::kNone;
+    } else if (dc.reader_count <= 1 ||
+               per_process_disjoint(dreads, sum, key, pids)) {
+      dc.reads = Pattern::kPerProcess;
+    } else {
+      dc.reads = locality_fraction(dreads, sum.nprocs) >= 0.5
+                     ? Pattern::kSharedLocal
+                     : Pattern::kSharedNonLocal;
+    }
+
+    out.data.push_back(std::move(dc));
+  }
+  return out;
+}
+
+std::string SharingReport::render() const {
+  std::ostringstream os;
+  for (const auto& d : data) {
+    os << d.name << ": writes=" << pattern_name(d.writes) << "("
+       << d.write_weight << ", " << d.writer_count << " procs)"
+       << " reads=" << pattern_name(d.reads) << "(" << d.read_weight << ", "
+       << d.reader_count << " procs)";
+    if (d.is_lock) os << " [lock, weight " << d.lock_weight << "]";
+    if (d.pid_dim >= 0)
+      os << " pid-dim=" << d.pid_dim
+         << (d.pid_dim_is_field_dim ? " (field dim)" : "");
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fsopt

@@ -1,0 +1,70 @@
+// Classification of each shared datum's cross-process access pattern,
+// computed from the stage-3 summary.  This is the information §3.3's
+// transformation heuristics consume: the type (read/write,
+// shared/per-process), stride and frequency of accesses to each data
+// structure.
+#pragma once
+
+#include "analysis/sideeffect.h"
+
+namespace fsopt {
+
+/// Cross-process access pattern of one side (reads or writes) of a datum.
+enum class Pattern : u8 {
+  kNone,            // no accesses of this kind
+  kPerProcess,      // sections provably disjoint across processes
+  kSharedLocal,     // shared, with spatial locality (unit-stride runs)
+  kSharedNonLocal,  // shared, without spatial or processor locality
+};
+
+const char* pattern_name(Pattern p);
+
+/// Everything the transformation heuristics need to know about one datum.
+struct DatumClass {
+  DatumKey datum;
+  std::string name;
+  const GlobalSym* sym = nullptr;
+  bool is_lock = false;
+  std::vector<i64> extents;
+
+  double read_weight = 0.0;
+  double write_weight = 0.0;
+  double lock_weight = 0.0;
+
+  Pattern writes = Pattern::kNone;
+  Pattern reads = Pattern::kNone;
+
+  /// For per-process writes: the dimension whose index partitions the data
+  /// across processes (-1 if the disjointness is not attributable to a
+  /// single dimension).
+  int pid_dim = -1;
+  /// True when pid_dim is the field-array dimension of a struct field —
+  /// the "embedded per-process data" situation that calls for indirection.
+  bool pid_dim_is_field_dim = false;
+  /// Number of processes that ever write the datum.
+  int writer_count = 0;
+  /// Number of processes that ever read the datum.
+  int reader_count = 0;
+  /// The barrier phase carrying most of this datum's traffic.  The
+  /// patterns above describe that phase — the non-concurrency analysis
+  /// "determines the dominant sharing pattern in the program and
+  /// restructures shared data for that pattern" (§3.1), which is what
+  /// keeps initialization-phase writes from mis-shaping the decision.
+  int dominant_phase = 0;
+};
+
+struct SharingReport {
+  std::vector<DatumClass> data;
+
+  const DatumClass* find(const DatumKey& k) const;
+  std::string render() const;
+};
+
+/// Classify every accessed datum.
+SharingReport classify_sharing(const ProgramSummary& summary);
+
+/// The spatial-locality threshold: a section is considered to have spatial
+/// locality if it sweeps at least this many consecutive elements.
+inline constexpr i64 kLocalityRunLength = 4;
+
+}  // namespace fsopt

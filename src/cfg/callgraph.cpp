@@ -1,0 +1,83 @@
+#include "cfg/callgraph.h"
+
+#include <algorithm>
+
+namespace fsopt {
+
+namespace {
+
+void walk_expr(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  for (const auto& c : e.children) walk_expr(*c, fn);
+}
+
+}  // namespace
+
+void for_each_expr(const Stmt& s, const std::function<void(const Expr&)>& fn) {
+  for_each_stmt(s, [&](const Stmt& st) {
+    for (const Expr* e : {st.init.get(), st.target.get(), st.value.get(),
+                          st.cond.get()})
+      if (e != nullptr) walk_expr(*e, fn);
+  });
+}
+
+void for_each_stmt(const Stmt& s, const std::function<void(const Stmt&)>& fn) {
+  fn(s);
+  for (const auto& c : s.stmts) for_each_stmt(*c, fn);
+  for (const Stmt* c :
+       {s.then_block.get(), s.else_block.get(), s.body.get(),
+        s.init_stmt.get(), s.step_stmt.get()})
+    if (c != nullptr) for_each_stmt(*c, fn);
+}
+
+CallGraph::CallGraph(const Program& prog) : prog_(prog) {
+  callees_.resize(prog.funcs.size());
+  for (const auto& fn : prog.funcs) {
+    if (!fn->body) continue;
+    for_each_expr(*fn->body, [&](const Expr& e) {
+      if (e.kind != ExprKind::kCall || e.callee == nullptr) return;
+      sites_.push_back({fn.get(), e.callee, &e});
+      auto& outs = callees_[static_cast<size_t>(fn->id)];
+      if (std::find(outs.begin(), outs.end(), e.callee) == outs.end())
+        outs.push_back(e.callee);
+    });
+  }
+
+  // Bottom-up order via post-order DFS from every function.
+  std::vector<bool> done(prog.funcs.size(), false);
+  std::function<void(const FuncDecl*)> visit = [&](const FuncDecl* f) {
+    if (done[static_cast<size_t>(f->id)]) return;
+    done[static_cast<size_t>(f->id)] = true;
+    for (const FuncDecl* c : callees_[static_cast<size_t>(f->id)]) visit(c);
+    order_.push_back(f);
+  };
+  for (const auto& fn : prog.funcs) visit(fn.get());
+
+  // Reachability from main.
+  reachable_.assign(prog.funcs.size(), false);
+  if (prog.main != nullptr) {
+    std::vector<const FuncDecl*> stack{prog.main};
+    reachable_[static_cast<size_t>(prog.main->id)] = true;
+    while (!stack.empty()) {
+      const FuncDecl* f = stack.back();
+      stack.pop_back();
+      for (const FuncDecl* c : callees_[static_cast<size_t>(f->id)]) {
+        if (!reachable_[static_cast<size_t>(c->id)]) {
+          reachable_[static_cast<size_t>(c->id)] = true;
+          stack.push_back(c);
+        }
+      }
+    }
+  }
+}
+
+const std::vector<const FuncDecl*>& CallGraph::callees(
+    const FuncDecl& fn) const {
+  return callees_[static_cast<size_t>(fn.id)];
+}
+
+bool CallGraph::reachable_from_main(const FuncDecl& fn) const {
+  return reachable_[static_cast<size_t>(fn.id)];
+}
+
+}  // namespace fsopt

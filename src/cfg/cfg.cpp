@@ -1,0 +1,162 @@
+#include "cfg/cfg.h"
+
+#include <algorithm>
+
+namespace fsopt {
+
+CfgNode* Cfg::new_node(const Stmt* stmt, int loop_depth) {
+  auto n = std::make_unique<CfgNode>();
+  n->id = static_cast<int>(nodes_.size());
+  n->stmt = stmt;
+  n->loop_depth = loop_depth;
+  CfgNode* raw = n.get();
+  nodes_.push_back(std::move(n));
+  if (stmt != nullptr) by_stmt_[stmt] = raw;
+  return raw;
+}
+
+void Cfg::link(CfgNode* from, CfgNode* to) {
+  from->succs.push_back(to);
+  to->preds.push_back(from);
+}
+
+Cfg::Cfg(const FuncDecl& fn) : fn_(&fn) {
+  entry_ = new_node(nullptr, 0);
+  entry_->is_entry = true;
+  exit_ = new_node(nullptr, 0);
+  exit_->is_exit = true;
+
+  if (fn.body != nullptr) {
+    Frag f = build_stmt(*fn.body, 0);
+    if (f.entry != nullptr) {
+      link(entry_, f.entry);
+      for (CfgNode* e : f.exits) link(e, exit_);
+    } else {
+      link(entry_, exit_);
+    }
+  } else {
+    link(entry_, exit_);
+  }
+}
+
+Cfg::Frag Cfg::build_block(const Stmt& s, int loop_depth) {
+  Frag out;
+  std::vector<CfgNode*> pending;  // exits waiting to be wired
+  for (const auto& c : s.stmts) {
+    Frag f = build_stmt(*c, loop_depth);
+    if (f.entry == nullptr) continue;  // empty nested block
+    if (out.entry == nullptr) {
+      out.entry = f.entry;
+    } else {
+      for (CfgNode* e : pending) link(e, f.entry);
+    }
+    pending = std::move(f.exits);
+  }
+  out.exits = std::move(pending);
+  return out;
+}
+
+Cfg::Frag Cfg::build_stmt(const Stmt& s, int loop_depth) {
+  switch (s.kind) {
+    case StmtKind::kBlock:
+      return build_block(s, loop_depth);
+    case StmtKind::kIf: {
+      CfgNode* cond = new_node(&s, loop_depth);
+      Frag out;
+      out.entry = cond;
+      Frag then_f = build_stmt(*s.then_block, loop_depth);
+      if (then_f.entry != nullptr) {
+        link(cond, then_f.entry);
+        out.exits.insert(out.exits.end(), then_f.exits.begin(),
+                         then_f.exits.end());
+      } else {
+        out.exits.push_back(cond);
+      }
+      if (s.else_block != nullptr) {
+        Frag else_f = build_stmt(*s.else_block, loop_depth);
+        if (else_f.entry != nullptr) {
+          link(cond, else_f.entry);
+          out.exits.insert(out.exits.end(), else_f.exits.begin(),
+                           else_f.exits.end());
+        } else {
+          out.exits.push_back(cond);
+        }
+      } else {
+        out.exits.push_back(cond);
+      }
+      return out;
+    }
+    case StmtKind::kWhile: {
+      CfgNode* cond = new_node(&s, loop_depth);
+      Frag body = build_stmt(*s.body, loop_depth + 1);
+      if (body.entry != nullptr) {
+        link(cond, body.entry);
+        for (CfgNode* e : body.exits) link(e, cond);
+      } else {
+        link(cond, cond);
+      }
+      Frag out;
+      out.entry = cond;
+      out.exits.push_back(cond);
+      return out;
+    }
+    case StmtKind::kFor: {
+      CfgNode* init = new_node(s.init_stmt.get(), loop_depth);
+      CfgNode* cond = new_node(&s, loop_depth);
+      link(init, cond);
+      CfgNode* step = new_node(s.step_stmt.get(), loop_depth + 1);
+      Frag body = build_stmt(*s.body, loop_depth + 1);
+      if (body.entry != nullptr) {
+        link(cond, body.entry);
+        for (CfgNode* e : body.exits) link(e, step);
+      } else {
+        link(cond, step);
+      }
+      link(step, cond);
+      Frag out;
+      out.entry = init;
+      out.exits.push_back(cond);
+      return out;
+    }
+    case StmtKind::kReturn: {
+      CfgNode* n = new_node(&s, loop_depth);
+      link(n, exit_);
+      return {n, {}};  // no fallthrough
+    }
+    default: {
+      CfgNode* n = new_node(&s, loop_depth);
+      return {n, {n}};
+    }
+  }
+}
+
+CfgNode* Cfg::node_for(const Stmt& stmt) const {
+  auto it = by_stmt_.find(&stmt);
+  return it != by_stmt_.end() ? it->second : nullptr;
+}
+
+std::vector<CfgNode*> Cfg::rpo() const {
+  std::vector<CfgNode*> post;
+  std::vector<bool> seen(nodes_.size(), false);
+  // Iterative post-order DFS.
+  std::vector<std::pair<CfgNode*, size_t>> stack;
+  stack.push_back({entry_, 0});
+  seen[static_cast<size_t>(entry_->id)] = true;
+  while (!stack.empty()) {
+    auto& [n, i] = stack.back();
+    if (i < n->succs.size()) {
+      CfgNode* s = n->succs[i++];
+      if (!seen[static_cast<size_t>(s->id)]) {
+        seen[static_cast<size_t>(s->id)] = true;
+        stack.push_back({s, 0});
+      }
+    } else {
+      post.push_back(n);
+      stack.pop_back();
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+}  // namespace fsopt

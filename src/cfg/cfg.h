@@ -1,0 +1,64 @@
+// Statement-level control-flow graphs for PPL functions.
+//
+// The per-process control-flow analysis (stage 1 of the paper's pipeline)
+// annotates CFG nodes with the set of processes that can execute them; the
+// static profiler annotates them with estimated execution frequencies.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace fsopt {
+
+struct CfgNode {
+  int id = -1;
+  const Stmt* stmt = nullptr;  // null for synthetic entry/exit
+  bool is_entry = false;
+  bool is_exit = false;
+  std::vector<CfgNode*> succs;
+  std::vector<CfgNode*> preds;
+  int loop_depth = 0;  // number of enclosing loops
+};
+
+/// CFG for one function.  Nodes are created per executable statement (block
+/// statements are transparent).  `if` and loop statements get a node for
+/// the condition evaluation; their bodies are linked as successors.
+class Cfg {
+ public:
+  explicit Cfg(const FuncDecl& fn);
+
+  const FuncDecl& function() const { return *fn_; }
+  CfgNode& entry() { return *entry_; }
+  CfgNode& exit() { return *exit_; }
+  const std::vector<std::unique_ptr<CfgNode>>& nodes() const { return nodes_; }
+
+  /// The CFG node created for `stmt` (condition node for composites),
+  /// or nullptr.
+  CfgNode* node_for(const Stmt& stmt) const;
+
+  /// Nodes in reverse post order from entry.
+  std::vector<CfgNode*> rpo() const;
+
+ private:
+  CfgNode* new_node(const Stmt* stmt, int loop_depth);
+  // Builds CFG for `s`; returns {entry node, exit nodes to be wired to the
+  // following statement}.
+  struct Frag {
+    CfgNode* entry = nullptr;
+    std::vector<CfgNode*> exits;
+  };
+  Frag build_stmt(const Stmt& s, int loop_depth);
+  Frag build_block(const Stmt& s, int loop_depth);
+  static void link(CfgNode* from, CfgNode* to);
+
+  const FuncDecl* fn_;
+  std::vector<std::unique_ptr<CfgNode>> nodes_;
+  CfgNode* entry_ = nullptr;
+  CfgNode* exit_ = nullptr;
+  std::unordered_map<const Stmt*, CfgNode*> by_stmt_;
+};
+
+}  // namespace fsopt

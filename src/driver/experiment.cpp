@@ -1,0 +1,153 @@
+#include "driver/experiment.h"
+
+namespace fsopt {
+
+std::vector<i64> paper_block_sizes() { return {4, 8, 16, 32, 64, 128, 256}; }
+std::vector<i64> table2_block_sizes() { return {8, 16, 32, 64, 128, 256}; }
+
+namespace {
+
+/// Largest address contribution of one dimension over [0, extent).
+i64 max_dim_contribution(const DimMap& d, i64 extent) {
+  if (extent <= 0) return 0;
+  i64 x1 = extent - 1;
+  i64 best = d.apply(x1);
+  if (d.split > 1) {
+    i64 x2 = (x1 / d.split) * d.split - 1;  // end of last full chunk
+    if (x2 >= 0) best = std::max(best, d.apply(x2));
+  }
+  return std::max<i64>(best, 0);
+}
+
+void add_resolved_range(AddressMap& map, const ResolvedAccess& ra,
+                        const std::vector<i64>& extents, i64 elem_bytes,
+                        const std::string& name) {
+  i64 hi = ra.base + ra.const_off + elem_bytes;
+  for (size_t i = 0; i < ra.dims.size() && i < extents.size(); ++i)
+    hi += max_dim_contribution(ra.dims[i], extents[i]);
+  map.add(ra.base, hi, name);
+}
+
+}  // namespace
+
+AddressMap build_address_map(const Compiled& c) {
+  AddressMap map;
+  for (const auto& g : c.prog->globals) {
+    ResolvedAccess ra = c.layout.resolve(*g, -1);
+    std::vector<i64> ext(g->dims.begin(), g->dims.end());
+    const DatumLayout* dl = c.layout.get(g->id, -1);
+    i64 elem = dl != nullptr && dl->elem_size_override > 0
+                   ? dl->elem_size_override
+                   : g->elem.byte_size();
+    add_resolved_range(map, ra, ext, elem, g->name);
+    // Indirection heaps of struct fields live in their own ranges.
+    if (g->elem.is_struct) {
+      const StructType& st = *g->elem.strct;
+      for (size_t fi = 0; fi < st.fields.size(); ++fi) {
+        const DatumLayout* fl = c.layout.get(g->id, static_cast<int>(fi));
+        if (fl == nullptr) continue;
+        ResolvedAccess fra = c.layout.resolve(*g, static_cast<int>(fi));
+        std::vector<i64> fext = ext;
+        if (st.fields[fi].array_len > 0)
+          fext.push_back(st.fields[fi].array_len);
+        add_resolved_range(map, fra, fext,
+                           scalar_size(st.fields[fi].kind),
+                           g->name + "." + st.fields[fi].name);
+      }
+    }
+  }
+  map.add(c.code.barrier_base, c.code.total_bytes, "<barrier>");
+  return map;
+}
+
+TraceStudyResult run_trace_study(const Compiled& c,
+                                 const std::vector<i64>& block_sizes,
+                                 i64 l1_bytes,
+                                 const AddressMap* attribution) {
+  MultiSink fan;
+  std::vector<std::unique_ptr<CacheSim>> sims;
+  for (i64 b : block_sizes) {
+    sims.push_back(std::make_unique<CacheSim>(
+        CacheParams{c.nprocs(), l1_bytes, b, c.code.total_bytes},
+        attribution));
+    fan.add(sims.back().get());
+  }
+  MachineOptions mo;
+  mo.sink = &fan;
+  Machine machine(c.code, mo);
+  machine.run();
+
+  TraceStudyResult out;
+  out.refs = machine.refs();
+  for (size_t i = 0; i < sims.size(); ++i) {
+    out.by_block[block_sizes[i]] = sims[i]->stats();
+    if (attribution != nullptr)
+      out.by_datum[block_sizes[i]] = sims[i]->by_datum();
+  }
+  return out;
+}
+
+TimingResult run_ksr(const Compiled& c, KsrParams params) {
+  params.nprocs = c.nprocs();
+  params.total_bytes = c.code.total_bytes;
+  KsrMemorySystem mem(params);
+  MachineOptions mo;
+  mo.memsys = &mem;
+  Machine machine(c.code, mo);
+  machine.run();
+  TimingResult out;
+  out.cycles = machine.finish_cycles();
+  out.ksr = mem.stats();
+  out.refs = machine.refs();
+  out.instructions = machine.instructions();
+  return out;
+}
+
+TimingResult compile_and_time(std::string_view source, i64 nprocs,
+                              const CompileOptions& base) {
+  CompileOptions opt = base;
+  opt.overrides["NPROCS"] = nprocs;
+  Compiled c = compile_source(source, opt);
+  return run_ksr(c);
+}
+
+std::pair<double, i64> SpeedupCurve::peak() const {
+  double best = 0.0;
+  i64 at = 0;
+  for (size_t i = 0; i < procs.size(); ++i) {
+    if (speedup[i] > best) {
+      best = speedup[i];
+      at = procs[i];
+    }
+  }
+  return {best, at};
+}
+
+SpeedupCurve speedup_sweep(std::string_view source,
+                           const std::vector<i64>& procs,
+                           const CompileOptions& base, i64 base_cycles) {
+  SpeedupCurve out;
+  for (i64 p : procs) {
+    TimingResult t = compile_and_time(source, p, base);
+    out.procs.push_back(p);
+    out.speedup.push_back(static_cast<double>(base_cycles) /
+                          static_cast<double>(t.cycles));
+  }
+  return out;
+}
+
+i64 baseline_cycles(std::string_view source, const CompileOptions& base) {
+  CompileOptions opt = base;
+  opt.optimize = false;
+  return compile_and_time(source, 1, opt).cycles;
+}
+
+std::unique_ptr<Machine> run_program(const Compiled& c, TraceSink* sink) {
+  MachineOptions mo;
+  mo.sink = sink;
+  auto m = std::make_unique<Machine>(c.code, mo);
+  m->run();
+  return m;
+}
+
+}  // namespace fsopt

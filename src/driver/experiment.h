@@ -1,0 +1,76 @@
+// Experiment harness helpers shared by the benchmarks, tests and examples:
+// run a compiled program through the trace-driven cache study or the
+// KSR2 timing model, and sweep processor counts for speedup curves.
+#pragma once
+
+#include <map>
+
+#include "driver/compiler.h"
+#include "interp/machine.h"
+#include "sim/ksr.h"
+
+namespace fsopt {
+
+/// The block sizes the paper's simulation study sweeps (§4).
+std::vector<i64> paper_block_sizes();  // 4..256
+/// Block sizes used for Table 2 averages (8-256).
+std::vector<i64> table2_block_sizes();
+
+struct TraceStudyResult {
+  std::map<i64, MissStats> by_block;  // block size -> stats
+  /// Per-datum attribution per block size (filled when requested).
+  std::map<i64, std::map<std::string, MissStats>> by_datum;
+  u64 refs = 0;
+  /// Value convenience accessors.
+  const MissStats& at(i64 block) const { return by_block.at(block); }
+};
+
+/// Address ranges of every global (and indirection heap region) under the
+/// compiled layout, for per-datum miss attribution.
+AddressMap build_address_map(const Compiled& c);
+
+/// Execute once, simulating every requested block size simultaneously
+/// (one CacheSim per block size attached to a fan-out sink).
+TraceStudyResult run_trace_study(const Compiled& c,
+                                 const std::vector<i64>& block_sizes,
+                                 i64 l1_bytes = 32 * 1024,
+                                 const AddressMap* attribution = nullptr);
+
+struct TimingResult {
+  i64 cycles = 0;
+  KsrStats ksr;
+  u64 refs = 0;
+  u64 instructions = 0;
+};
+
+/// Execute under the KSR2 timing model.
+TimingResult run_ksr(const Compiled& c, KsrParams params = {});
+
+/// Compile `source` with NPROCS=n (plus `base` overrides) and run under
+/// the KSR model; returns simulated cycles.
+TimingResult compile_and_time(std::string_view source, i64 nprocs,
+                              const CompileOptions& base);
+
+struct SpeedupCurve {
+  std::vector<i64> procs;
+  std::vector<double> speedup;  // relative to supplied baseline cycles
+
+  /// Maximum speedup and the processor count where it occurs.
+  std::pair<double, i64> peak() const;
+};
+
+/// Sweep processor counts.  Speedups are relative to `baseline_cycles`
+/// (the paper uses the uniprocessor run of the *unoptimized* version).
+SpeedupCurve speedup_sweep(std::string_view source,
+                           const std::vector<i64>& procs,
+                           const CompileOptions& base, i64 baseline_cycles);
+
+/// Uniprocessor cycles of the unoptimized program (the speedup baseline).
+i64 baseline_cycles(std::string_view source, const CompileOptions& base);
+
+/// Run and check nothing (executes the program once, trace mode); returns
+/// the machine for memory inspection.
+std::unique_ptr<Machine> run_program(const Compiled& c,
+                                     TraceSink* sink = nullptr);
+
+}  // namespace fsopt

@@ -1,0 +1,117 @@
+#include "interp/bytecode.h"
+
+#include <sstream>
+
+namespace fsopt {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPushI: return "push.i";
+    case Op::kPushR: return "push.r";
+    case Op::kLoadL: return "load.l";
+    case Op::kStoreL: return "store.l";
+    case Op::kLoadG: return "load.g";
+    case Op::kStoreG: return "store.g";
+    case Op::kAddI: return "add.i";
+    case Op::kSubI: return "sub.i";
+    case Op::kMulI: return "mul.i";
+    case Op::kDivI: return "div.i";
+    case Op::kRemI: return "rem.i";
+    case Op::kNegI: return "neg.i";
+    case Op::kNotI: return "not.i";
+    case Op::kEqI: return "eq.i";
+    case Op::kNeI: return "ne.i";
+    case Op::kLtI: return "lt.i";
+    case Op::kLeI: return "le.i";
+    case Op::kGtI: return "gt.i";
+    case Op::kGeI: return "ge.i";
+    case Op::kAddR: return "add.r";
+    case Op::kSubR: return "sub.r";
+    case Op::kMulR: return "mul.r";
+    case Op::kDivR: return "div.r";
+    case Op::kNegR: return "neg.r";
+    case Op::kEqR: return "eq.r";
+    case Op::kNeR: return "ne.r";
+    case Op::kLtR: return "lt.r";
+    case Op::kLeR: return "le.r";
+    case Op::kGtR: return "gt.r";
+    case Op::kGeR: return "ge.r";
+    case Op::kJmp: return "jmp";
+    case Op::kJz: return "jz";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kPop: return "pop";
+    case Op::kBarrier: return "barrier";
+    case Op::kLock: return "lock";
+    case Op::kUnlock: return "unlock";
+    case Op::kLcg: return "lcg";
+    case Op::kAbsI: return "abs.i";
+    case Op::kAbsR: return "abs.r";
+    case Op::kMinI: return "min.i";
+    case Op::kMaxI: return "max.i";
+    case Op::kMinR: return "min.r";
+    case Op::kMaxR: return "max.r";
+    case Op::kItor: return "itor";
+    case Op::kRtoi: return "rtoi";
+    case Op::kSqrt: return "sqrt";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+i64 AccessPlan::address(const i64* idx) const {
+  i64 addr = base + const_off;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    i64 x = idx[i];
+    if (x < 0 || x >= extents[i])
+      throw InternalError("index out of bounds for " + name + ": dim " +
+                          std::to_string(i) + " index " + std::to_string(x) +
+                          " extent " + std::to_string(extents[i]));
+    addr += dims[i].apply(x);
+  }
+  return addr;
+}
+
+i64 AccessPlan::pointer_slot(const i64* idx) const {
+  FSOPT_CHECK(indirection.has_value(), "not an indirect plan");
+  const IndirectionInfo& in = *indirection;
+  i64 addr = in.ptr_base + in.ptr_off;
+  for (size_t i = 0; i < in.ptr_dims.size(); ++i)
+    addr += in.ptr_dims[i].apply(idx[i]);
+  return addr;
+}
+
+std::string CodeImage::disassemble() const {
+  std::ostringstream os;
+  for (const auto& f : funcs) {
+    os << f.name << ":  (entry " << f.entry_pc << ", " << f.nlocals
+       << " locals)\n";
+  }
+  for (size_t pc = 0; pc < code.size(); ++pc) {
+    os << pc << "\t" << op_name(code[pc].op);
+    switch (code[pc].op) {
+      case Op::kLoadG:
+      case Op::kStoreG:
+      case Op::kLock:
+      case Op::kUnlock:
+        os << " " << plans[static_cast<size_t>(code[pc].a)].name;
+        break;
+      case Op::kCall:
+        os << " " << funcs[static_cast<size_t>(code[pc].a)].name;
+        break;
+      case Op::kPushI:
+      case Op::kLoadL:
+      case Op::kStoreL:
+      case Op::kJmp:
+      case Op::kJz:
+        os << " " << code[pc].a;
+        break;
+      default:
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fsopt

@@ -1,0 +1,284 @@
+#include "interp/compile.h"
+
+#include <bit>
+#include <map>
+
+namespace fsopt {
+
+namespace {
+
+class CodeGen {
+ public:
+  CodeGen(const Program& prog, const LayoutPlan& layout)
+      : prog_(prog), layout_(layout) {}
+
+  CodeImage run() {
+    img_.nprocs = prog_.nprocs;
+    img_.funcs.resize(prog_.funcs.size());
+    for (const auto& fn : prog_.funcs) {
+      FuncInfo& fi = img_.funcs[static_cast<size_t>(fn->id)];
+      fi.entry_pc = static_cast<int>(img_.code.size());
+      fi.nlocals = static_cast<int>(fn->locals.size());
+      fi.nparams = static_cast<int>(fn->params.size());
+      fi.returns_value = fn->ret != ValueType::kVoid;
+      fi.name = fn->name;
+      gen_func(*fn);
+    }
+    img_.main_func = prog_.main != nullptr ? prog_.main->id : -1;
+    img_.globals_bytes = layout_.total_bytes();
+    // Runtime region: one block-sized area for the central barrier
+    // (lock word @0, count @4, sense @8).
+    img_.barrier_base = round_up(img_.globals_bytes, 256);
+    img_.total_bytes = img_.barrier_base + 256;
+    return std::move(img_);
+  }
+
+ private:
+  void emit(Op op, i64 a = 0) { img_.code.push_back({op, a}); }
+  int here() const { return static_cast<int>(img_.code.size()); }
+  void patch(int pc, i64 a) { img_.code[static_cast<size_t>(pc)].a = a; }
+
+  int plan_for(const GlobalAccess& acc) {
+    auto key = std::make_pair(acc.sym->id, acc.field);
+    auto it = plan_ids_.find(key);
+    if (it != plan_ids_.end()) return it->second;
+    ResolvedAccess ra = layout_.resolve(*acc.sym, acc.field);
+    AccessPlan p;
+    p.base = ra.base;
+    p.const_off = ra.const_off;
+    p.dims = ra.dims;
+    p.indirection = ra.indirection;
+    for (const auto& d : acc.dims) p.extents.push_back(d.extent);
+    FSOPT_CHECK(p.dims.size() == p.extents.size(),
+                "layout dims do not match access dims for " + acc.sym->name);
+    p.size = static_cast<u8>(scalar_size(acc.scalar));
+    p.is_real = acc.scalar == ScalarKind::kReal;
+    p.name = acc.sym->name;
+    if (acc.field >= 0)
+      p.name += "." + acc.sym->elem.strct->fields[static_cast<size_t>(
+                                                      acc.field)]
+                          .name;
+    int id = static_cast<int>(img_.plans.size());
+    img_.plans.push_back(std::move(p));
+    plan_ids_[key] = id;
+    return id;
+  }
+
+  /// Push the index expressions of a global access (in dim order).
+  void gen_indices(const GlobalAccess& acc) {
+    for (const auto& d : acc.dims) gen_expr(*d.index);
+  }
+
+  void gen_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        emit(Op::kPushI, e.int_value);
+        return;
+      case ExprKind::kRealLit:
+        emit(Op::kPushR, std::bit_cast<i64>(e.real_value));
+        return;
+      case ExprKind::kVar:
+        if (e.local != nullptr) {
+          emit(Op::kLoadL, e.local->slot);
+          return;
+        }
+        [[fallthrough]];
+      case ExprKind::kIndex:
+      case ExprKind::kField: {
+        auto acc = resolve_global_access(e);
+        FSOPT_CHECK(acc.has_value(), "unresolved global access");
+        gen_indices(*acc);
+        emit(Op::kLoadG, plan_for(*acc));
+        return;
+      }
+      case ExprKind::kUnary:
+        gen_expr(*e.children[0]);
+        if (e.un_op == UnOp::kNeg) {
+          emit(e.type == ValueType::kReal ? Op::kNegR : Op::kNegI);
+        } else {
+          emit(Op::kNotI);
+        }
+        return;
+      case ExprKind::kBinary:
+        gen_binary(e);
+        return;
+      case ExprKind::kCall:
+        gen_call(e);
+        return;
+    }
+  }
+
+  void gen_binary(const Expr& e) {
+    if (e.bin_op == BinOp::kAnd || e.bin_op == BinOp::kOr) {
+      // Short-circuit: a && b  /  a || b  producing 0/1.
+      bool is_and = e.bin_op == BinOp::kAnd;
+      gen_expr(*e.children[0]);
+      if (!is_and) emit(Op::kNotI);
+      int j1 = here();
+      emit(Op::kJz, 0);  // patched to short-circuit target
+      gen_expr(*e.children[1]);
+      if (!is_and) emit(Op::kNotI);
+      int j2 = here();
+      emit(Op::kJz, 0);
+      emit(Op::kPushI, is_and ? 1 : 0);
+      int j3 = here();
+      emit(Op::kJmp, 0);
+      int short_target = here();
+      emit(Op::kPushI, is_and ? 0 : 1);
+      int end = here();
+      patch(j1, short_target);
+      patch(j2, short_target);
+      patch(j3, end);
+      return;
+    }
+    gen_expr(*e.children[0]);
+    gen_expr(*e.children[1]);
+    bool real = e.children[0]->type == ValueType::kReal;
+    switch (e.bin_op) {
+      case BinOp::kAdd: emit(real ? Op::kAddR : Op::kAddI); return;
+      case BinOp::kSub: emit(real ? Op::kSubR : Op::kSubI); return;
+      case BinOp::kMul: emit(real ? Op::kMulR : Op::kMulI); return;
+      case BinOp::kDiv: emit(real ? Op::kDivR : Op::kDivI); return;
+      case BinOp::kRem: emit(Op::kRemI); return;
+      case BinOp::kEq: emit(real ? Op::kEqR : Op::kEqI); return;
+      case BinOp::kNe: emit(real ? Op::kNeR : Op::kNeI); return;
+      case BinOp::kLt: emit(real ? Op::kLtR : Op::kLtI); return;
+      case BinOp::kLe: emit(real ? Op::kLeR : Op::kLeI); return;
+      case BinOp::kGt: emit(real ? Op::kGtR : Op::kGtI); return;
+      case BinOp::kGe: emit(real ? Op::kGeR : Op::kGeI); return;
+      default:
+        FSOPT_CHECK(false, "unexpected binary op");
+    }
+  }
+
+  void gen_call(const Expr& e) {
+    for (const auto& a : e.children) gen_expr(*a);
+    if (e.callee != nullptr) {
+      emit(Op::kCall, e.callee->id);
+      return;
+    }
+    switch (e.intrinsic) {
+      case Intrinsic::kLcg: emit(Op::kLcg); return;
+      case Intrinsic::kAbs:
+        emit(e.type == ValueType::kReal ? Op::kAbsR : Op::kAbsI);
+        return;
+      case Intrinsic::kMin:
+        emit(e.type == ValueType::kReal ? Op::kMinR : Op::kMinI);
+        return;
+      case Intrinsic::kMax:
+        emit(e.type == ValueType::kReal ? Op::kMaxR : Op::kMaxI);
+        return;
+      case Intrinsic::kItor: emit(Op::kItor); return;
+      case Intrinsic::kRtoi: emit(Op::kRtoi); return;
+      case Intrinsic::kSqrt: emit(Op::kSqrt); return;
+      case Intrinsic::kNone:
+        FSOPT_CHECK(false, "call without callee or intrinsic");
+    }
+  }
+
+  void gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& c : s.stmts) gen_stmt(*c);
+        return;
+      case StmtKind::kLocalDecl:
+        if (s.init != nullptr) {
+          gen_expr(*s.init);
+          emit(Op::kStoreL, s.local->slot);
+        }
+        return;
+      case StmtKind::kAssign: {
+        auto acc = resolve_global_access(*s.target);
+        if (acc.has_value()) {
+          gen_indices(*acc);
+          gen_expr(*s.value);
+          emit(Op::kStoreG, plan_for(*acc));
+        } else {
+          gen_expr(*s.value);
+          emit(Op::kStoreL, s.target->local->slot);
+        }
+        return;
+      }
+      case StmtKind::kIf: {
+        gen_expr(*s.cond);
+        int jz = here();
+        emit(Op::kJz, 0);
+        gen_stmt(*s.then_block);
+        if (s.else_block != nullptr) {
+          int jend = here();
+          emit(Op::kJmp, 0);
+          patch(jz, here());
+          gen_stmt(*s.else_block);
+          patch(jend, here());
+        } else {
+          patch(jz, here());
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        int top = here();
+        gen_expr(*s.cond);
+        int jz = here();
+        emit(Op::kJz, 0);
+        gen_stmt(*s.body);
+        emit(Op::kJmp, top);
+        patch(jz, here());
+        return;
+      }
+      case StmtKind::kFor: {
+        gen_stmt(*s.init_stmt);
+        int top = here();
+        gen_expr(*s.cond);
+        int jz = here();
+        emit(Op::kJz, 0);
+        gen_stmt(*s.body);
+        gen_stmt(*s.step_stmt);
+        emit(Op::kJmp, top);
+        patch(jz, here());
+        return;
+      }
+      case StmtKind::kExpr:
+        gen_expr(*s.value);
+        if (s.value->type != ValueType::kVoid) emit(Op::kPop);
+        return;
+      case StmtKind::kReturn:
+        if (s.value != nullptr) gen_expr(*s.value);
+        emit(Op::kRet);
+        return;
+      case StmtKind::kBarrier:
+        emit(Op::kBarrier);
+        return;
+      case StmtKind::kLock:
+      case StmtKind::kUnlock: {
+        auto acc = resolve_global_access(*s.target);
+        FSOPT_CHECK(acc.has_value(), "lock operand must be shared");
+        gen_indices(*acc);
+        emit(s.kind == StmtKind::kLock ? Op::kLock : Op::kUnlock,
+             plan_for(*acc));
+        return;
+      }
+    }
+  }
+
+  void gen_func(const FuncDecl& fn) {
+    if (fn.body != nullptr) gen_stmt(*fn.body);
+    // Implicit return (push a default value for typed functions that fall
+    // off the end).
+    if (fn.ret != ValueType::kVoid) emit(Op::kPushI, 0);
+    emit(Op::kRet);
+  }
+
+  const Program& prog_;
+  const LayoutPlan& layout_;
+  CodeImage img_;
+  std::map<std::pair<int, int>, int> plan_ids_;
+};
+
+}  // namespace
+
+CodeImage compile_code(const Program& prog, const LayoutPlan& layout) {
+  CodeGen gen(prog, layout);
+  return gen.run();
+}
+
+}  // namespace fsopt

@@ -1,0 +1,14 @@
+// AST -> bytecode compilation against a memory layout.
+#pragma once
+
+#include "interp/bytecode.h"
+#include "lang/ast.h"
+
+namespace fsopt {
+
+/// Compile a sema-checked program against `layout`.  The same program can
+/// be compiled against different layouts to produce the unoptimized and
+/// transformed executables.
+CodeImage compile_code(const Program& prog, const LayoutPlan& layout);
+
+}  // namespace fsopt

@@ -1,0 +1,87 @@
+#include "lang/ast.h"
+
+namespace fsopt {
+
+ExprPtr Expr::make_int(i64 v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::kIntLit, loc);
+  e->int_value = v;
+  e->type = ValueType::kInt;
+  return e;
+}
+
+ExprPtr Expr::make_real(double v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::kRealLit, loc);
+  e->real_value = v;
+  e->type = ValueType::kReal;
+  return e;
+}
+
+const StructType* Program::find_struct(const std::string& n) const {
+  for (const auto& s : structs)
+    if (s->name == n) return s.get();
+  return nullptr;
+}
+
+const GlobalSym* Program::find_global(const std::string& n) const {
+  for (const auto& g : globals)
+    if (g->name == n) return g.get();
+  return nullptr;
+}
+
+FuncDecl* Program::find_func(const std::string& n) const {
+  for (const auto& f : funcs)
+    if (f->name == n) return f.get();
+  return nullptr;
+}
+
+std::optional<GlobalAccess> resolve_global_access(const Expr& e) {
+  // Walk down to the root kVar, collecting components outer-to-inner as we
+  // unwind.
+  std::vector<const Expr*> chain;
+  const Expr* cur = &e;
+  while (cur->kind == ExprKind::kIndex || cur->kind == ExprKind::kField) {
+    chain.push_back(cur);
+    cur = cur->children[0].get();
+  }
+  FSOPT_CHECK(cur->kind == ExprKind::kVar, "lvalue chain must root at a var");
+  if (cur->global == nullptr) return std::nullopt;  // local variable access
+
+  GlobalAccess acc;
+  acc.sym = cur->global;
+  // chain is inner-to-outer; reverse to apply outer-to-inner.
+  GlobalAccess out;
+  out.sym = acc.sym;
+  const StructField* fld = nullptr;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const Expr* c = *it;
+    if (c->kind == ExprKind::kIndex) {
+      DimAccess d;
+      d.index = c->children[1].get();
+      if (fld == nullptr) {
+        size_t which = out.dims.size();
+        FSOPT_CHECK(which < out.sym->dims.size(), "too many array indices");
+        d.extent = out.sym->dims[which];
+        out.dims.push_back(d);
+        out.array_dims = static_cast<int>(out.dims.size());
+      } else {
+        FSOPT_CHECK(fld->array_len > 0, "indexing a scalar field");
+        d.extent = fld->array_len;
+        out.dims.push_back(d);
+      }
+    } else {  // kField
+      FSOPT_CHECK(out.sym->elem.is_struct, "field access on non-struct");
+      out.field = c->field_index;
+      fld = &out.sym->elem.strct->fields[static_cast<size_t>(out.field)];
+    }
+  }
+  if (fld != nullptr) {
+    out.scalar = fld->kind;
+  } else if (!out.sym->elem.is_struct) {
+    out.scalar = out.sym->elem.scalar;
+  } else {
+    FSOPT_CHECK(false, "whole-struct access is not a scalar lvalue");
+  }
+  return out;
+}
+
+}  // namespace fsopt

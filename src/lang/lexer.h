@@ -1,0 +1,40 @@
+// Hand-written lexer for PPL.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace fsopt {
+
+/// Tokenizes an entire PPL source buffer.  Comments are `//` to end of line
+/// and `/* ... */`.  Reports malformed tokens through `diags` and resumes.
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags);
+
+  /// Lex the whole buffer; the final token is always kEof.
+  std::vector<Token> lex_all();
+
+ private:
+  Token next();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool match(char c);
+  void skip_ws_and_comments();
+  Token make(Tok kind);
+  Token lex_number();
+  Token lex_ident();
+  SourceLoc here() const { return {line_, col_}; }
+
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  SourceLoc tok_start_;
+  size_t tok_start_pos_ = 0;
+};
+
+}  // namespace fsopt

@@ -1,0 +1,612 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+
+namespace fsopt {
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine& diags,
+               const ParamOverrides& overrides)
+    : toks_(std::move(tokens)), diags_(diags), overrides_(overrides) {
+  FSOPT_CHECK(!toks_.empty() && toks_.back().kind == Tok::kEof,
+              "token stream must end with EOF");
+}
+
+std::unique_ptr<Program> Parser::parse(std::string_view source,
+                                       DiagnosticEngine& diags,
+                                       const ParamOverrides& overrides) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.lex_all(), diags, overrides);
+  auto prog = parser.parse_program();
+  diags.throw_if_errors();
+  return prog;
+}
+
+const Token& Parser::peek(int ahead) const {
+  size_t p = std::min(pos_ + static_cast<size_t>(ahead), toks_.size() - 1);
+  return toks_[p];
+}
+
+const Token& Parser::advance() {
+  const Token& t = toks_[pos_];
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(Tok k) {
+  if (!check(k)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(Tok k, const char* context) {
+  if (!check(k)) {
+    fail(std::string("expected ") + tok_name(k) + " " + context + ", found " +
+         tok_name(peek().kind) +
+         (peek().text.empty() ? "" : " '" + peek().text + "'"));
+  }
+  return advance();
+}
+
+void Parser::fail(const std::string& msg) {
+  diags_.error(peek().loc, msg);
+  throw CompileError(diags_.render());
+}
+
+std::unique_ptr<Program> Parser::parse_program() {
+  prog_ = std::make_unique<Program>();
+  while (!check(Tok::kEof)) {
+    switch (peek().kind) {
+      case Tok::kKwParam:
+        parse_param_decl();
+        break;
+      case Tok::kKwStruct:
+        // `struct Name { ... };` is a type decl; `struct Name ident ...` is
+        // a global of struct type.
+        if (peek(2).kind == Tok::kLBrace) {
+          parse_struct_decl();
+        } else {
+          parse_global_decl();
+        }
+        break;
+      case Tok::kKwVoid:
+        parse_func_decl();
+        break;
+      case Tok::kKwInt:
+      case Tok::kKwReal:
+      case Tok::kKwLockT:
+        // `type ident (` is a function; otherwise a global declaration.
+        if (peek(1).kind == Tok::kIdent && peek(2).kind == Tok::kLParen) {
+          parse_func_decl();
+        } else {
+          parse_global_decl();
+        }
+        break;
+      default:
+        fail("expected a declaration");
+    }
+  }
+  return std::move(prog_);
+}
+
+void Parser::parse_param_decl() {
+  expect(Tok::kKwParam, "to begin parameter");
+  const Token& name = expect(Tok::kIdent, "after 'param'");
+  expect(Tok::kAssign, "in parameter declaration");
+  i64 value = parse_const_expr();
+  expect(Tok::kSemi, "after parameter declaration");
+  if (prog_->params.count(name.text) != 0) {
+    diags_.error(name.loc, "duplicate param '" + name.text + "'");
+    return;
+  }
+  auto ov = overrides_.find(name.text);
+  prog_->params[name.text] = ov != overrides_.end() ? ov->second : value;
+}
+
+i64 Parser::parse_const_expr() {
+  i64 v = parse_const_mul();
+  for (;;) {
+    if (accept(Tok::kPlus)) {
+      v += parse_const_mul();
+    } else if (accept(Tok::kMinus)) {
+      v -= parse_const_mul();
+    } else {
+      return v;
+    }
+  }
+}
+
+i64 Parser::parse_const_mul() {
+  i64 v = parse_const_primary();
+  for (;;) {
+    if (accept(Tok::kStar)) {
+      v *= parse_const_primary();
+    } else if (accept(Tok::kSlash)) {
+      i64 d = parse_const_primary();
+      if (d == 0) fail("division by zero in constant expression");
+      v /= d;
+    } else if (accept(Tok::kPercent)) {
+      i64 d = parse_const_primary();
+      if (d == 0) fail("modulo by zero in constant expression");
+      v %= d;
+    } else {
+      return v;
+    }
+  }
+}
+
+i64 Parser::parse_const_primary() {
+  if (check(Tok::kIntLit)) return advance().int_value;
+  if (accept(Tok::kMinus)) return -parse_const_primary();
+  if (accept(Tok::kLParen)) {
+    i64 v = parse_const_expr();
+    expect(Tok::kRParen, "in constant expression");
+    return v;
+  }
+  if (check(Tok::kKwNprocs)) {
+    const Token& t = advance();
+    auto it = prog_->params.find("NPROCS");
+    if (it == prog_->params.end())
+      diags_.error(t.loc, "'nprocs' used before 'param NPROCS' was declared");
+    return it == prog_->params.end() ? 1 : it->second;
+  }
+  if (check(Tok::kIdent)) {
+    const Token& t = advance();
+    auto it = prog_->params.find(t.text);
+    if (it == prog_->params.end()) {
+      diags_.error(t.loc, "unknown param '" + t.text +
+                              "' in constant expression");
+      return 1;
+    }
+    return it->second;
+  }
+  fail("expected constant expression");
+}
+
+void Parser::parse_struct_decl() {
+  expect(Tok::kKwStruct, "to begin struct");
+  const Token& name = expect(Tok::kIdent, "after 'struct'");
+  expect(Tok::kLBrace, "to begin struct body");
+  auto st = std::make_unique<StructType>();
+  st->name = name.text;
+  st->loc = name.loc;
+  while (!accept(Tok::kRBrace)) {
+    StructField f;
+    if (accept(Tok::kKwInt)) {
+      f.kind = ScalarKind::kInt;
+    } else if (accept(Tok::kKwReal)) {
+      f.kind = ScalarKind::kReal;
+    } else if (accept(Tok::kKwLockT)) {
+      f.kind = ScalarKind::kLock;
+    } else {
+      fail("expected field type in struct body");
+    }
+    const Token& fname = expect(Tok::kIdent, "as field name");
+    f.name = fname.text;
+    f.loc = fname.loc;
+    if (accept(Tok::kLBracket)) {
+      f.array_len = parse_const_expr();
+      if (f.array_len <= 0)
+        diags_.error(fname.loc, "field array length must be positive");
+      expect(Tok::kRBracket, "after field array length");
+    }
+    expect(Tok::kSemi, "after field");
+    st->fields.push_back(std::move(f));
+  }
+  expect(Tok::kSemi, "after struct declaration");
+  if (prog_->find_struct(st->name) != nullptr) {
+    diags_.error(st->loc, "duplicate struct '" + st->name + "'");
+    return;
+  }
+  prog_->structs.push_back(std::move(st));
+}
+
+void Parser::parse_global_decl() {
+  ElemType elem;
+  if (accept(Tok::kKwStruct)) {
+    const Token& sname = expect(Tok::kIdent, "after 'struct'");
+    const StructType* st = prog_->find_struct(sname.text);
+    if (st == nullptr)
+      fail("unknown struct type '" + sname.text + "'");
+    elem.is_struct = true;
+    elem.strct = st;
+  } else if (accept(Tok::kKwInt)) {
+    elem.scalar = ScalarKind::kInt;
+  } else if (accept(Tok::kKwReal)) {
+    elem.scalar = ScalarKind::kReal;
+  } else if (accept(Tok::kKwLockT)) {
+    elem.scalar = ScalarKind::kLock;
+  } else {
+    fail("expected global type");
+  }
+  const Token& name = expect(Tok::kIdent, "as global name");
+  auto g = std::make_unique<GlobalSym>();
+  g->name = name.text;
+  g->elem = elem;
+  g->loc = name.loc;
+  while (accept(Tok::kLBracket)) {
+    if (g->dims.size() == 2) fail("at most 2 array dimensions are supported");
+    i64 ext = parse_const_expr();
+    if (ext <= 0) diags_.error(name.loc, "array extent must be positive");
+    g->dims.push_back(ext);
+    expect(Tok::kRBracket, "after array extent");
+  }
+  expect(Tok::kSemi, "after global declaration");
+  if (prog_->find_global(g->name) != nullptr) {
+    diags_.error(g->loc, "duplicate global '" + g->name + "'");
+    return;
+  }
+  g->id = static_cast<int>(prog_->globals.size());
+  prog_->globals.push_back(std::move(g));
+}
+
+void Parser::parse_func_decl() {
+  auto fn = std::make_unique<FuncDecl>();
+  if (accept(Tok::kKwVoid)) {
+    fn->ret = ValueType::kVoid;
+  } else if (accept(Tok::kKwInt)) {
+    fn->ret = ValueType::kInt;
+  } else if (accept(Tok::kKwReal)) {
+    fn->ret = ValueType::kReal;
+  } else {
+    fail("expected function return type");
+  }
+  const Token& name = expect(Tok::kIdent, "as function name");
+  fn->name = name.text;
+  fn->loc = name.loc;
+  expect(Tok::kLParen, "to begin parameter list");
+  if (!check(Tok::kRParen)) {
+    do {
+      ScalarKind pk;
+      if (accept(Tok::kKwInt)) {
+        pk = ScalarKind::kInt;
+      } else if (accept(Tok::kKwReal)) {
+        pk = ScalarKind::kReal;
+      } else {
+        fail("function parameters must be 'int' or 'real'");
+      }
+      const Token& pname = expect(Tok::kIdent, "as parameter name");
+      auto sym = std::make_unique<LocalSym>();
+      sym->name = pname.text;
+      sym->kind = pk;
+      sym->is_param = true;
+      sym->loc = pname.loc;
+      fn->params.push_back(sym.get());
+      fn->locals.push_back(std::move(sym));
+    } while (accept(Tok::kComma));
+  }
+  expect(Tok::kRParen, "after parameter list");
+  fn->body = parse_block();
+  if (prog_->find_func(fn->name) != nullptr) {
+    diags_.error(fn->loc, "duplicate function '" + fn->name + "'");
+    return;
+  }
+  fn->id = static_cast<int>(prog_->funcs.size());
+  prog_->funcs.push_back(std::move(fn));
+}
+
+StmtPtr Parser::parse_block() {
+  const Token& open = expect(Tok::kLBrace, "to begin block");
+  auto blk = std::make_unique<Stmt>(StmtKind::kBlock, open.loc);
+  while (!accept(Tok::kRBrace)) {
+    if (check(Tok::kEof)) fail("unexpected end of file inside block");
+    blk->stmts.push_back(parse_stmt());
+  }
+  return blk;
+}
+
+bool Parser::looks_like_type() const {
+  Tok k = peek().kind;
+  return k == Tok::kKwInt || k == Tok::kKwReal;
+}
+
+StmtPtr Parser::parse_stmt() {
+  SourceLoc loc = peek().loc;
+  switch (peek().kind) {
+    case Tok::kLBrace:
+      return parse_block();
+    case Tok::kKwIf:
+      return parse_if();
+    case Tok::kKwWhile:
+      return parse_while();
+    case Tok::kKwFor:
+      return parse_for();
+    case Tok::kKwReturn: {
+      advance();
+      auto s = std::make_unique<Stmt>(StmtKind::kReturn, loc);
+      if (!check(Tok::kSemi)) s->value = parse_expr();
+      expect(Tok::kSemi, "after return");
+      return s;
+    }
+    case Tok::kKwBarrier: {
+      advance();
+      expect(Tok::kLParen, "after 'barrier'");
+      expect(Tok::kRParen, "after 'barrier('");
+      expect(Tok::kSemi, "after barrier()");
+      return std::make_unique<Stmt>(StmtKind::kBarrier, loc);
+    }
+    case Tok::kKwLock:
+    case Tok::kKwUnlock: {
+      bool is_lock = peek().kind == Tok::kKwLock;
+      advance();
+      expect(Tok::kLParen, "after lock/unlock");
+      auto s = std::make_unique<Stmt>(
+          is_lock ? StmtKind::kLock : StmtKind::kUnlock, loc);
+      s->target = parse_lvalue();
+      expect(Tok::kRParen, "after lock/unlock operand");
+      expect(Tok::kSemi, "after lock/unlock statement");
+      return s;
+    }
+    default:
+      break;
+  }
+
+  if (looks_like_type()) {
+    auto s = std::make_unique<Stmt>(StmtKind::kLocalDecl, loc);
+    s->decl_kind =
+        accept(Tok::kKwInt) ? ScalarKind::kInt
+                            : (expect(Tok::kKwReal, "as local type"),
+                               ScalarKind::kReal);
+    const Token& name = expect(Tok::kIdent, "as local name");
+    s->name = name.text;
+    if (accept(Tok::kAssign)) s->init = parse_expr();
+    expect(Tok::kSemi, "after local declaration");
+    return s;
+  }
+
+  // Assignment or call statement.
+  ExprPtr lhs = parse_postfix();
+  if (accept(Tok::kAssign)) {
+    auto s = std::make_unique<Stmt>(StmtKind::kAssign, loc);
+    s->target = std::move(lhs);
+    s->value = parse_expr();
+    expect(Tok::kSemi, "after assignment");
+    return s;
+  }
+  auto s = std::make_unique<Stmt>(StmtKind::kExpr, loc);
+  s->value = std::move(lhs);
+  expect(Tok::kSemi, "after expression statement");
+  return s;
+}
+
+StmtPtr Parser::parse_if() {
+  SourceLoc loc = expect(Tok::kKwIf, "").loc;
+  expect(Tok::kLParen, "after 'if'");
+  auto s = std::make_unique<Stmt>(StmtKind::kIf, loc);
+  s->cond = parse_expr();
+  expect(Tok::kRParen, "after if condition");
+  s->then_block = parse_stmt();
+  if (accept(Tok::kKwElse)) s->else_block = parse_stmt();
+  return s;
+}
+
+StmtPtr Parser::parse_while() {
+  SourceLoc loc = expect(Tok::kKwWhile, "").loc;
+  expect(Tok::kLParen, "after 'while'");
+  auto s = std::make_unique<Stmt>(StmtKind::kWhile, loc);
+  s->cond = parse_expr();
+  expect(Tok::kRParen, "after while condition");
+  s->body = parse_stmt();
+  return s;
+}
+
+StmtPtr Parser::parse_for() {
+  SourceLoc loc = expect(Tok::kKwFor, "").loc;
+  expect(Tok::kLParen, "after 'for'");
+  auto s = std::make_unique<Stmt>(StmtKind::kFor, loc);
+
+  // init: `var = expr`
+  {
+    SourceLoc iloc = peek().loc;
+    ExprPtr lhs = parse_postfix();
+    expect(Tok::kAssign, "in for-init");
+    auto init = std::make_unique<Stmt>(StmtKind::kAssign, iloc);
+    init->target = std::move(lhs);
+    init->value = parse_expr();
+    s->init_stmt = std::move(init);
+  }
+  expect(Tok::kSemi, "after for-init");
+  s->cond = parse_expr();
+  expect(Tok::kSemi, "after for-condition");
+  {
+    SourceLoc sloc = peek().loc;
+    ExprPtr lhs = parse_postfix();
+    expect(Tok::kAssign, "in for-step");
+    auto step = std::make_unique<Stmt>(StmtKind::kAssign, sloc);
+    step->target = std::move(lhs);
+    step->value = parse_expr();
+    s->step_stmt = std::move(step);
+  }
+  expect(Tok::kRParen, "after for-step");
+  s->body = parse_stmt();
+  return s;
+}
+
+ExprPtr Parser::parse_expr() { return parse_or(); }
+
+ExprPtr Parser::parse_or() {
+  ExprPtr e = parse_and();
+  while (check(Tok::kOrOr)) {
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::kBinary, loc);
+    b->bin_op = BinOp::kOr;
+    b->children.push_back(std::move(e));
+    b->children.push_back(parse_and());
+    e = std::move(b);
+  }
+  return e;
+}
+
+ExprPtr Parser::parse_and() {
+  ExprPtr e = parse_cmp();
+  while (check(Tok::kAndAnd)) {
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::kBinary, loc);
+    b->bin_op = BinOp::kAnd;
+    b->children.push_back(std::move(e));
+    b->children.push_back(parse_cmp());
+    e = std::move(b);
+  }
+  return e;
+}
+
+ExprPtr Parser::parse_cmp() {
+  ExprPtr e = parse_add();
+  for (;;) {
+    BinOp op;
+    switch (peek().kind) {
+      case Tok::kEq: op = BinOp::kEq; break;
+      case Tok::kNe: op = BinOp::kNe; break;
+      case Tok::kLt: op = BinOp::kLt; break;
+      case Tok::kLe: op = BinOp::kLe; break;
+      case Tok::kGt: op = BinOp::kGt; break;
+      case Tok::kGe: op = BinOp::kGe; break;
+      default: return e;
+    }
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::kBinary, loc);
+    b->bin_op = op;
+    b->children.push_back(std::move(e));
+    b->children.push_back(parse_add());
+    e = std::move(b);
+  }
+}
+
+ExprPtr Parser::parse_add() {
+  ExprPtr e = parse_mul();
+  for (;;) {
+    BinOp op;
+    if (check(Tok::kPlus)) {
+      op = BinOp::kAdd;
+    } else if (check(Tok::kMinus)) {
+      op = BinOp::kSub;
+    } else {
+      return e;
+    }
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::kBinary, loc);
+    b->bin_op = op;
+    b->children.push_back(std::move(e));
+    b->children.push_back(parse_mul());
+    e = std::move(b);
+  }
+}
+
+ExprPtr Parser::parse_mul() {
+  ExprPtr e = parse_unary();
+  for (;;) {
+    BinOp op;
+    if (check(Tok::kStar)) {
+      op = BinOp::kMul;
+    } else if (check(Tok::kSlash)) {
+      op = BinOp::kDiv;
+    } else if (check(Tok::kPercent)) {
+      op = BinOp::kRem;
+    } else {
+      return e;
+    }
+    SourceLoc loc = advance().loc;
+    auto b = std::make_unique<Expr>(ExprKind::kBinary, loc);
+    b->bin_op = op;
+    b->children.push_back(std::move(e));
+    b->children.push_back(parse_unary());
+    e = std::move(b);
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  if (check(Tok::kMinus)) {
+    SourceLoc loc = advance().loc;
+    auto u = std::make_unique<Expr>(ExprKind::kUnary, loc);
+    u->un_op = UnOp::kNeg;
+    u->children.push_back(parse_unary());
+    return u;
+  }
+  if (check(Tok::kNot)) {
+    SourceLoc loc = advance().loc;
+    auto u = std::make_unique<Expr>(ExprKind::kUnary, loc);
+    u->un_op = UnOp::kNot;
+    u->children.push_back(parse_unary());
+    return u;
+  }
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr e = parse_primary();
+  for (;;) {
+    if (check(Tok::kLBracket)) {
+      SourceLoc loc = advance().loc;
+      auto ix = std::make_unique<Expr>(ExprKind::kIndex, loc);
+      ix->children.push_back(std::move(e));
+      ix->children.push_back(parse_expr());
+      expect(Tok::kRBracket, "after array index");
+      e = std::move(ix);
+    } else if (check(Tok::kDot)) {
+      SourceLoc loc = advance().loc;
+      const Token& fname = expect(Tok::kIdent, "as field name");
+      auto fe = std::make_unique<Expr>(ExprKind::kField, loc);
+      fe->name = fname.text;
+      fe->children.push_back(std::move(e));
+      e = std::move(fe);
+    } else {
+      return e;
+    }
+  }
+}
+
+ExprPtr Parser::parse_primary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::kIntLit:
+      advance();
+      return Expr::make_int(t.int_value, t.loc);
+    case Tok::kRealLit:
+      advance();
+      return Expr::make_real(t.real_value, t.loc);
+    case Tok::kKwNprocs: {
+      advance();
+      auto it = prog_->params.find("NPROCS");
+      i64 p = it != prog_->params.end() ? it->second : 1;
+      if (it == prog_->params.end())
+        diags_.error(t.loc, "'nprocs' requires 'param NPROCS'");
+      return Expr::make_int(p, t.loc);
+    }
+    case Tok::kIdent: {
+      advance();
+      // Params fold to integer literals here (compile-time constants).
+      auto it = prog_->params.find(t.text);
+      if (it != prog_->params.end()) return Expr::make_int(it->second, t.loc);
+      if (check(Tok::kLParen)) {
+        advance();
+        auto call = std::make_unique<Expr>(ExprKind::kCall, t.loc);
+        call->name = t.text;
+        if (!check(Tok::kRParen)) {
+          do {
+            call->children.push_back(parse_expr());
+          } while (accept(Tok::kComma));
+        }
+        expect(Tok::kRParen, "after call arguments");
+        return call;
+      }
+      auto v = std::make_unique<Expr>(ExprKind::kVar, t.loc);
+      v->name = t.text;
+      return v;
+    }
+    case Tok::kLParen: {
+      advance();
+      ExprPtr e = parse_expr();
+      expect(Tok::kRParen, "after parenthesized expression");
+      return e;
+    }
+    default:
+      fail(std::string("expected expression, found ") + tok_name(t.kind));
+  }
+}
+
+ExprPtr Parser::parse_lvalue() {
+  ExprPtr e = parse_postfix();
+  if (!e->is_lvalue_shape()) fail("expected an lvalue");
+  return e;
+}
+
+}  // namespace fsopt

@@ -1,0 +1,78 @@
+// Recursive-descent parser for PPL.
+//
+// `param` constants are evaluated during parsing (with caller-supplied
+// overrides), so struct layouts and array extents are concrete integers by
+// the time semantic analysis and the static analyses run.  This mirrors the
+// paper's whole-program assumption: the number of processes (NPROCS) is a
+// compile-time constant (§2).
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.h"
+#include "lang/token.h"
+
+namespace fsopt {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags,
+         const ParamOverrides& overrides);
+
+  /// Parse a whole program.  Throws CompileError on unrecoverable syntax
+  /// errors; minor errors are collected in the diagnostic engine.
+  std::unique_ptr<Program> parse_program();
+
+  /// Convenience: lex + parse in one step.
+  static std::unique_ptr<Program> parse(std::string_view source,
+                                        DiagnosticEngine& diags,
+                                        const ParamOverrides& overrides = {});
+
+ private:
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(Tok k) const { return peek().kind == k; }
+  bool accept(Tok k);
+  const Token& expect(Tok k, const char* context);
+  [[noreturn]] void fail(const std::string& msg);
+
+  // Declarations.
+  void parse_param_decl();
+  void parse_struct_decl();
+  void parse_global_decl();
+  void parse_func_decl();
+
+  // Constant expressions (evaluated eagerly against params_).
+  i64 parse_const_expr();
+  i64 parse_const_mul();
+  i64 parse_const_primary();
+
+  // Statements.
+  StmtPtr parse_block();
+  StmtPtr parse_stmt();
+  StmtPtr parse_if();
+  StmtPtr parse_while();
+  StmtPtr parse_for();
+
+  // Expressions (precedence climbing).
+  ExprPtr parse_expr();
+  ExprPtr parse_or();
+  ExprPtr parse_and();
+  ExprPtr parse_cmp();
+  ExprPtr parse_add();
+  ExprPtr parse_mul();
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+  ExprPtr parse_lvalue();
+
+  bool looks_like_type() const;
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  DiagnosticEngine& diags_;
+  ParamOverrides overrides_;
+  std::unique_ptr<Program> prog_;
+};
+
+}  // namespace fsopt

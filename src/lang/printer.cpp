@@ -1,0 +1,260 @@
+#include "lang/printer.h"
+
+#include <map>
+#include <sstream>
+
+namespace fsopt {
+
+namespace {
+
+const char* bin_op_str(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kRem: return "%";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+int precedence(BinOp op) {
+  switch (op) {
+    case BinOp::kOr: return 1;
+    case BinOp::kAnd: return 2;
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: return 3;
+    case BinOp::kAdd:
+    case BinOp::kSub: return 4;
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kRem: return 5;
+  }
+  return 0;
+}
+
+void print_expr_prec(const Expr& e, int parent_prec, std::ostream& os) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      os << e.int_value;
+      return;
+    case ExprKind::kRealLit: {
+      std::ostringstream tmp;
+      tmp << e.real_value;
+      std::string s = tmp.str();
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos)
+        s += ".0";
+      os << s;
+      return;
+    }
+    case ExprKind::kVar:
+      os << e.name;
+      return;
+    case ExprKind::kIndex:
+      print_expr_prec(*e.children[0], 100, os);
+      os << "[";
+      print_expr_prec(*e.children[1], 0, os);
+      os << "]";
+      return;
+    case ExprKind::kField:
+      print_expr_prec(*e.children[0], 100, os);
+      os << "." << e.name;
+      return;
+    case ExprKind::kUnary:
+      os << (e.un_op == UnOp::kNeg ? "-" : "!");
+      os << "(";
+      print_expr_prec(*e.children[0], 0, os);
+      os << ")";
+      return;
+    case ExprKind::kBinary: {
+      int p = precedence(e.bin_op);
+      if (p < parent_prec) os << "(";
+      print_expr_prec(*e.children[0], p, os);
+      os << " " << bin_op_str(e.bin_op) << " ";
+      print_expr_prec(*e.children[1], p + 1, os);
+      if (p < parent_prec) os << ")";
+      return;
+    }
+    case ExprKind::kCall: {
+      os << e.name << "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_expr_prec(*e.children[i], 0, os);
+      }
+      os << ")";
+      return;
+    }
+  }
+}
+
+void print_stmt_impl(const Stmt& s, int indent, std::ostream& os);
+
+void print_indent(int indent, std::ostream& os) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+}
+
+void print_block_or_stmt(const Stmt& s, int indent, std::ostream& os) {
+  if (s.kind == StmtKind::kBlock) {
+    os << " {\n";
+    for (const auto& c : s.stmts) print_stmt_impl(*c, indent + 1, os);
+    print_indent(indent, os);
+    os << "}";
+  } else {
+    os << "\n";
+    print_stmt_impl(s, indent + 1, os);
+    print_indent(indent, os);
+  }
+}
+
+void print_stmt_impl(const Stmt& s, int indent, std::ostream& os) {
+  print_indent(indent, os);
+  switch (s.kind) {
+    case StmtKind::kBlock:
+      os << "{\n";
+      for (const auto& c : s.stmts) print_stmt_impl(*c, indent + 1, os);
+      print_indent(indent, os);
+      os << "}\n";
+      return;
+    case StmtKind::kLocalDecl:
+      os << scalar_name(s.decl_kind) << " " << s.name;
+      if (s.init) {
+        os << " = ";
+        print_expr_prec(*s.init, 0, os);
+      }
+      os << ";\n";
+      return;
+    case StmtKind::kAssign:
+      print_expr_prec(*s.target, 0, os);
+      os << " = ";
+      print_expr_prec(*s.value, 0, os);
+      os << ";\n";
+      return;
+    case StmtKind::kIf:
+      os << "if (";
+      print_expr_prec(*s.cond, 0, os);
+      os << ")";
+      print_block_or_stmt(*s.then_block, indent, os);
+      if (s.else_block) {
+        os << " else";
+        print_block_or_stmt(*s.else_block, indent, os);
+      }
+      os << "\n";
+      return;
+    case StmtKind::kWhile:
+      os << "while (";
+      print_expr_prec(*s.cond, 0, os);
+      os << ")";
+      print_block_or_stmt(*s.body, indent, os);
+      os << "\n";
+      return;
+    case StmtKind::kFor: {
+      os << "for (";
+      print_expr_prec(*s.init_stmt->target, 0, os);
+      os << " = ";
+      print_expr_prec(*s.init_stmt->value, 0, os);
+      os << "; ";
+      print_expr_prec(*s.cond, 0, os);
+      os << "; ";
+      print_expr_prec(*s.step_stmt->target, 0, os);
+      os << " = ";
+      print_expr_prec(*s.step_stmt->value, 0, os);
+      os << ")";
+      print_block_or_stmt(*s.body, indent, os);
+      os << "\n";
+      return;
+    }
+    case StmtKind::kExpr:
+      print_expr_prec(*s.value, 0, os);
+      os << ";\n";
+      return;
+    case StmtKind::kReturn:
+      os << "return";
+      if (s.value) {
+        os << " ";
+        print_expr_prec(*s.value, 0, os);
+      }
+      os << ";\n";
+      return;
+    case StmtKind::kBarrier:
+      os << "barrier();\n";
+      return;
+    case StmtKind::kLock:
+      os << "lock(";
+      print_expr_prec(*s.target, 0, os);
+      os << ");\n";
+      return;
+    case StmtKind::kUnlock:
+      os << "unlock(";
+      print_expr_prec(*s.target, 0, os);
+      os << ");\n";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& e) {
+  std::ostringstream os;
+  print_expr_prec(e, 0, os);
+  return os.str();
+}
+
+std::string print_stmt(const Stmt& s, int indent) {
+  std::ostringstream os;
+  print_stmt_impl(s, indent, os);
+  return os.str();
+}
+
+std::string print_program(const Program& prog) {
+  std::ostringstream os;
+  // Sorted for deterministic output (params live in an unordered map).
+  std::map<std::string, i64> params(prog.params.begin(), prog.params.end());
+  for (const auto& [name, value] : params)
+    os << "param " << name << " = " << value << ";\n";
+  os << "\n";
+  for (const auto& st : prog.structs) {
+    os << "struct " << st->name << " {\n";
+    for (const auto& f : st->fields) {
+      os << "  " << scalar_name(f.kind) << " " << f.name;
+      if (f.array_len > 0) os << "[" << f.array_len << "]";
+      os << ";\n";
+    }
+    os << "};\n\n";
+  }
+  for (const auto& g : prog.globals) {
+    os << g->elem.str() << " " << g->name;
+    for (i64 d : g->dims) os << "[" << d << "]";
+    os << ";\n";
+  }
+  os << "\n";
+  for (const auto& fn : prog.funcs) {
+    os << value_type_name(fn->ret) << " " << fn->name << "(";
+    for (size_t i = 0; i < fn->params.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << scalar_name(fn->params[i]->kind) << " " << fn->params[i]->name;
+    }
+    os << ")";
+    if (fn->body) {
+      os << " " << print_stmt(*fn->body, 0);
+    } else {
+      os << ";\n";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fsopt

@@ -1,0 +1,22 @@
+// Pretty-printer: renders an AST back to PPL source.  Used by the
+// source-to-source rewriter (transform/rewrite) and by examples/tests to
+// show what the restructurer did.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace fsopt {
+
+/// Render one expression.
+std::string print_expr(const Expr& e);
+
+/// Render one statement at the given indent level.
+std::string print_stmt(const Stmt& s, int indent = 0);
+
+/// Render a whole program (params as resolved values, structs, globals,
+/// functions).
+std::string print_program(const Program& prog);
+
+}  // namespace fsopt

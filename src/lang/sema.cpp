@@ -1,0 +1,519 @@
+#include "lang/sema.h"
+
+#include <algorithm>
+#include <set>
+
+#include "lang/parser.h"
+
+namespace fsopt {
+
+namespace {
+
+ValueType scalar_value_type(ScalarKind k) {
+  switch (k) {
+    case ScalarKind::kInt: return ValueType::kInt;
+    case ScalarKind::kReal: return ValueType::kReal;
+    case ScalarKind::kLock: return ValueType::kInt;  // lock word reads as int
+  }
+  return ValueType::kInt;
+}
+
+}  // namespace
+
+std::unique_ptr<Program> parse_and_check(std::string_view source,
+                                         DiagnosticEngine& diags,
+                                         const ParamOverrides& overrides) {
+  auto prog = Parser::parse(source, diags, overrides);
+  Sema sema(diags);
+  sema.run(*prog);
+  return prog;
+}
+
+void Sema::run(Program& prog) {
+  prog_ = &prog;
+  layout_structs(prog);
+
+  auto it = prog.params.find("NPROCS");
+  if (it == prog.params.end()) {
+    diags_.warning({}, "no 'param NPROCS' declared; assuming 1 process");
+    prog.nprocs = 1;
+  } else {
+    prog.nprocs = it->second;
+    if (prog.nprocs < 1)
+      diags_.error({}, "NPROCS must be at least 1");
+  }
+
+  prog.main = prog.find_func("main");
+  if (prog.main == nullptr) {
+    diags_.error({}, "program has no 'main' function");
+  } else if (prog.main->ret != ValueType::kVoid ||
+             prog.main->params.size() != 1 ||
+             prog.main->params[0]->kind != ScalarKind::kInt) {
+    diags_.error(prog.main->loc,
+                 "main must be declared as 'void main(int pid)'");
+  }
+
+  for (auto& fn : prog.funcs) check_function(*fn);
+  check_no_recursion();
+  diags_.throw_if_errors();
+}
+
+void Sema::layout_structs(Program& prog) {
+  for (auto& st : prog.structs) {
+    i64 off = 0;
+    i64 align = 1;
+    std::set<std::string> seen;
+    for (auto& f : st->fields) {
+      if (!seen.insert(f.name).second)
+        diags_.error(f.loc, "duplicate field '" + f.name + "' in struct " +
+                                st->name);
+      i64 a = scalar_size(f.kind);
+      align = std::max(align, a);
+      off = round_up(off, a);
+      f.offset = off;
+      off += f.byte_size();
+    }
+    st->align = align;
+    st->size = round_up(std::max<i64>(off, 1), align);
+  }
+}
+
+LocalSym* Sema::lookup_local(const std::string& name) {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+    for (LocalSym* s : *it)
+      if (s->name == name) return s;
+  return nullptr;
+}
+
+LocalSym* Sema::declare_local(const std::string& name, ScalarKind kind,
+                              SourceLoc loc) {
+  if (lookup_local(name) != nullptr)
+    diags_.error(loc, "redeclaration of '" + name + "'");
+  if (prog_->find_global(name) != nullptr)
+    diags_.error(loc, "local '" + name + "' shadows a shared global");
+  auto sym = std::make_unique<LocalSym>();
+  sym->name = name;
+  sym->kind = kind;
+  sym->loc = loc;
+  sym->slot = static_cast<int>(cur_fn_->locals.size());
+  LocalSym* raw = sym.get();
+  cur_fn_->locals.push_back(std::move(sym));
+  scopes_.back().push_back(raw);
+  return raw;
+}
+
+void Sema::check_function(FuncDecl& fn) {
+  cur_fn_ = &fn;
+  in_main_ = fn.name == "main";
+  scopes_.clear();
+  scopes_.emplace_back();
+  // Parameters were created by the parser; assign slots and make visible.
+  int slot = 0;
+  for (auto& l : fn.locals) l->slot = slot++;
+  for (LocalSym* p : fn.params) scopes_.back().push_back(p);
+  if (fn.body) check_stmt(*fn.body, /*loop_depth=*/0);
+  cur_fn_ = nullptr;
+}
+
+void Sema::check_stmt(Stmt& s, int loop_depth) {
+  switch (s.kind) {
+    case StmtKind::kBlock: {
+      scopes_.emplace_back();
+      for (auto& c : s.stmts) check_stmt(*c, loop_depth);
+      scopes_.pop_back();
+      return;
+    }
+    case StmtKind::kLocalDecl: {
+      if (s.init) {
+        ValueType t = check_expr(*s.init);
+        if (t != scalar_value_type(s.decl_kind))
+          diags_.error(s.loc, "initializer type mismatch for '" + s.name +
+                                  "': expected " +
+                                  value_type_name(
+                                      scalar_value_type(s.decl_kind)) +
+                                  ", got " + value_type_name(t));
+      }
+      s.local = declare_local(s.name, s.decl_kind, s.loc);
+      return;
+    }
+    case StmtKind::kAssign: {
+      ValueType lt = check_lvalue(*s.target, /*lock_context=*/false);
+      // Assigning to a function parameter would break the PDV invariance
+      // guarantee (§2: PDVs are invariant over the process lifetime).
+      if (s.target->kind == ExprKind::kVar && s.target->local != nullptr &&
+          s.target->local->is_param)
+        diags_.error(s.loc, "cannot assign to parameter '" +
+                                s.target->name + "'");
+      ValueType rt = check_expr(*s.value);
+      if (lt != rt)
+        diags_.error(s.loc, std::string("assignment type mismatch: ") +
+                                value_type_name(lt) + " = " +
+                                value_type_name(rt));
+      return;
+    }
+    case StmtKind::kIf: {
+      if (check_expr(*s.cond) != ValueType::kInt)
+        diags_.error(s.loc, "if condition must be int");
+      check_stmt(*s.then_block, loop_depth);
+      if (s.else_block) check_stmt(*s.else_block, loop_depth);
+      return;
+    }
+    case StmtKind::kWhile: {
+      if (check_expr(*s.cond) != ValueType::kInt)
+        diags_.error(s.loc, "while condition must be int");
+      check_stmt(*s.body, loop_depth + 1);
+      return;
+    }
+    case StmtKind::kFor: {
+      check_stmt(*s.init_stmt, loop_depth);
+      if (check_expr(*s.cond) != ValueType::kInt)
+        diags_.error(s.loc, "for condition must be int");
+      check_stmt(*s.step_stmt, loop_depth);
+      check_stmt(*s.body, loop_depth + 1);
+      return;
+    }
+    case StmtKind::kExpr: {
+      if (s.value->kind != ExprKind::kCall)
+        diags_.error(s.loc, "expression statement must be a call");
+      check_expr(*s.value);
+      return;
+    }
+    case StmtKind::kReturn: {
+      ValueType t = ValueType::kVoid;
+      if (s.value) t = check_expr(*s.value);
+      if (t != cur_fn_->ret)
+        diags_.error(s.loc, std::string("return type mismatch: function "
+                                        "returns ") +
+                                value_type_name(cur_fn_->ret));
+      return;
+    }
+    case StmtKind::kBarrier: {
+      if (!in_main_)
+        diags_.error(s.loc,
+                     "barrier() is only allowed in main (the "
+                     "non-concurrency analysis delimits phases there)");
+      return;
+    }
+    case StmtKind::kLock:
+    case StmtKind::kUnlock: {
+      check_lvalue(*s.target, /*lock_context=*/true);
+      return;
+    }
+  }
+}
+
+ValueType Sema::check_lvalue(Expr& e, bool lock_context) {
+  // Resolve the root variable of the chain.
+  Expr* root = &e;
+  while (root->kind == ExprKind::kIndex || root->kind == ExprKind::kField)
+    root = root->children[0].get();
+  if (root->kind != ExprKind::kVar) {
+    diags_.error(e.loc, "expected an lvalue");
+    return ValueType::kInt;
+  }
+
+  LocalSym* local = lookup_local(root->name);
+  if (local != nullptr) {
+    root->local = local;
+    root->type = scalar_value_type(local->kind);
+    if (&e != root) {
+      diags_.error(e.loc, "local '" + root->name + "' is a scalar");
+      return ValueType::kInt;
+    }
+    if (lock_context)
+      diags_.error(e.loc, "lock/unlock requires a shared lock_t");
+    if (local->kind == ScalarKind::kLock)
+      diags_.error(e.loc, "locals cannot have lock type");
+    e.type = root->type;
+    return e.type;
+  }
+
+  const GlobalSym* g = prog_->find_global(root->name);
+  if (g == nullptr) {
+    diags_.error(root->loc, "unknown variable '" + root->name + "'");
+    return ValueType::kInt;
+  }
+  root->global = g;
+
+  // Re-walk the chain top-down, tracking how much of the shape is consumed.
+  // Collect chain inner-to-outer then reverse.
+  std::vector<Expr*> chain;
+  for (Expr* cur = &e; cur != root; cur = cur->children[0].get())
+    chain.push_back(cur);
+  std::reverse(chain.begin(), chain.end());
+
+  size_t array_dims_used = 0;
+  const StructField* field = nullptr;
+  bool field_indexed = false;
+  for (Expr* c : chain) {
+    if (c->kind == ExprKind::kIndex) {
+      if (check_expr(*c->children[1]) != ValueType::kInt)
+        diags_.error(c->loc, "array index must be int");
+      if (field == nullptr) {
+        if (array_dims_used >= g->dims.size()) {
+          diags_.error(c->loc, "too many indices for '" + g->name + "'");
+          return ValueType::kInt;
+        }
+        ++array_dims_used;
+      } else {
+        if (field->array_len == 0 || field_indexed) {
+          diags_.error(c->loc, "cannot index field '" + field->name + "'");
+          return ValueType::kInt;
+        }
+        field_indexed = true;
+      }
+      c->type = ValueType::kInt;  // refined below at the end
+    } else {  // kField
+      if (field != nullptr) {
+        diags_.error(c->loc, "nested field access is not supported");
+        return ValueType::kInt;
+      }
+      if (!g->elem.is_struct) {
+        diags_.error(c->loc, "'" + g->name + "' is not a struct array");
+        return ValueType::kInt;
+      }
+      if (array_dims_used != g->dims.size()) {
+        diags_.error(c->loc, "must index all array dimensions of '" +
+                                 g->name + "' before field access");
+        return ValueType::kInt;
+      }
+      int fi = g->elem.strct->field_index(c->name);
+      if (fi < 0) {
+        diags_.error(c->loc, "struct " + g->elem.strct->name +
+                                 " has no field '" + c->name + "'");
+        return ValueType::kInt;
+      }
+      c->field_index = fi;
+      field = &g->elem.strct->fields[static_cast<size_t>(fi)];
+    }
+  }
+
+  // The chain must denote a scalar location.
+  ScalarKind end_kind;
+  if (field != nullptr) {
+    if (field->array_len > 0 && !field_indexed) {
+      diags_.error(e.loc, "field '" + field->name + "' is an array; index it");
+      return ValueType::kInt;
+    }
+    end_kind = field->kind;
+  } else {
+    if (g->elem.is_struct) {
+      diags_.error(e.loc, "cannot use a whole struct as a value");
+      return ValueType::kInt;
+    }
+    if (array_dims_used != g->dims.size()) {
+      diags_.error(e.loc, "missing array indices for '" + g->name + "'");
+      return ValueType::kInt;
+    }
+    end_kind = g->elem.scalar;
+  }
+
+  if (lock_context) {
+    if (end_kind != ScalarKind::kLock)
+      diags_.error(e.loc, "lock/unlock requires a lock_t location");
+  } else if (end_kind == ScalarKind::kLock) {
+    diags_.error(e.loc,
+                 "lock_t data may only be accessed via lock()/unlock()");
+  }
+  e.type = scalar_value_type(end_kind);
+  return e.type;
+}
+
+ValueType Sema::check_expr(Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      e.type = ValueType::kInt;
+      return e.type;
+    case ExprKind::kRealLit:
+      e.type = ValueType::kReal;
+      return e.type;
+    case ExprKind::kVar:
+    case ExprKind::kIndex:
+    case ExprKind::kField:
+      return check_lvalue(e, /*lock_context=*/false);
+    case ExprKind::kUnary: {
+      ValueType t = check_expr(*e.children[0]);
+      if (e.un_op == UnOp::kNot && t != ValueType::kInt)
+        diags_.error(e.loc, "'!' requires an int operand");
+      e.type = t;
+      return t;
+    }
+    case ExprKind::kBinary: {
+      ValueType lt = check_expr(*e.children[0]);
+      ValueType rt = check_expr(*e.children[1]);
+      if (lt != rt) {
+        diags_.error(e.loc, std::string("operand type mismatch: ") +
+                                value_type_name(lt) + " vs " +
+                                value_type_name(rt));
+        e.type = lt;
+        return e.type;
+      }
+      switch (e.bin_op) {
+        case BinOp::kAdd:
+        case BinOp::kSub:
+        case BinOp::kMul:
+        case BinOp::kDiv:
+          e.type = lt;
+          break;
+        case BinOp::kRem:
+        case BinOp::kAnd:
+        case BinOp::kOr:
+          if (lt != ValueType::kInt)
+            diags_.error(e.loc, "operator requires int operands");
+          e.type = ValueType::kInt;
+          break;
+        default:  // comparisons
+          e.type = ValueType::kInt;
+          break;
+      }
+      return e.type;
+    }
+    case ExprKind::kCall: {
+      std::vector<ValueType> at;
+      for (auto& a : e.children) at.push_back(check_expr(*a));
+      // Intrinsics first.
+      auto need = [&](size_t n) {
+        if (at.size() != n)
+          diags_.error(e.loc, "wrong number of arguments to '" + e.name + "'");
+        while (at.size() < n) at.push_back(ValueType::kInt);
+      };
+      if (e.name == "lcg") {
+        e.intrinsic = Intrinsic::kLcg;
+        need(1);
+        if (at[0] != ValueType::kInt)
+          diags_.error(e.loc, "lcg takes an int");
+        e.type = ValueType::kInt;
+        return e.type;
+      }
+      if (e.name == "abs") {
+        e.intrinsic = Intrinsic::kAbs;
+        need(1);
+        e.type = at[0];
+        return e.type;
+      }
+      if (e.name == "min" || e.name == "max") {
+        e.intrinsic = e.name == "min" ? Intrinsic::kMin : Intrinsic::kMax;
+        need(2);
+        if (at[0] != at[1])
+          diags_.error(e.loc, "min/max operand types must match");
+        e.type = at[0];
+        return e.type;
+      }
+      if (e.name == "itor") {
+        e.intrinsic = Intrinsic::kItor;
+        need(1);
+        if (at[0] != ValueType::kInt) diags_.error(e.loc, "itor takes an int");
+        e.type = ValueType::kReal;
+        return e.type;
+      }
+      if (e.name == "rtoi") {
+        e.intrinsic = Intrinsic::kRtoi;
+        need(1);
+        if (at[0] != ValueType::kReal)
+          diags_.error(e.loc, "rtoi takes a real");
+        e.type = ValueType::kInt;
+        return e.type;
+      }
+      if (e.name == "sqrt") {
+        e.intrinsic = Intrinsic::kSqrt;
+        need(1);
+        if (at[0] != ValueType::kReal)
+          diags_.error(e.loc, "sqrt takes a real");
+        e.type = ValueType::kReal;
+        return e.type;
+      }
+      FuncDecl* callee = prog_->find_func(e.name);
+      if (callee == nullptr) {
+        diags_.error(e.loc, "unknown function '" + e.name + "'");
+        e.type = ValueType::kInt;
+        return e.type;
+      }
+      if (callee->name == "main")
+        diags_.error(e.loc, "main may not be called");
+      e.callee = callee;
+      if (at.size() != callee->params.size()) {
+        diags_.error(e.loc, "wrong number of arguments to '" + e.name + "'");
+      } else {
+        for (size_t i = 0; i < at.size(); ++i) {
+          if (at[i] != scalar_value_type(callee->params[i]->kind))
+            diags_.error(e.children[i]->loc,
+                         "argument type mismatch in call to '" + e.name + "'");
+        }
+      }
+      e.type = callee->ret;
+      return e.type;
+    }
+  }
+  return ValueType::kVoid;
+}
+
+void Sema::check_no_recursion() {
+  // DFS over the call graph looking for cycles.  The paper's interprocedural
+  // analyses (and our bottom-up summary translation) require acyclic calls.
+  enum class Mark : u8 { kWhite, kGray, kBlack };
+  std::vector<Mark> mark(prog_->funcs.size(), Mark::kWhite);
+
+  std::vector<std::vector<int>> edges(prog_->funcs.size());
+  for (auto& fn : prog_->funcs) {
+    std::vector<int>& out = edges[static_cast<size_t>(fn->id)];
+    // Walk statements/expressions iteratively.
+    std::vector<const Stmt*> sstack;
+    std::vector<const Expr*> estack;
+    if (fn->body) sstack.push_back(fn->body.get());
+    auto push_expr = [&](const Expr* e) {
+      if (e != nullptr) estack.push_back(e);
+    };
+    while (!sstack.empty() || !estack.empty()) {
+      if (!estack.empty()) {
+        const Expr* e = estack.back();
+        estack.pop_back();
+        if (e->kind == ExprKind::kCall && e->callee != nullptr)
+          out.push_back(e->callee->id);
+        for (const auto& c : e->children) push_expr(c.get());
+        continue;
+      }
+      const Stmt* s = sstack.back();
+      sstack.pop_back();
+      for (const auto& c : s->stmts) sstack.push_back(c.get());
+      push_expr(s->init.get());
+      push_expr(s->target.get());
+      push_expr(s->value.get());
+      push_expr(s->cond.get());
+      for (const Stmt* c : {s->then_block.get(), s->else_block.get(),
+                            s->body.get(), s->init_stmt.get(),
+                            s->step_stmt.get()})
+        if (c != nullptr) sstack.push_back(c);
+    }
+  }
+
+  // Iterative DFS with explicit gray marking.
+  for (size_t root = 0; root < prog_->funcs.size(); ++root) {
+    if (mark[root] != Mark::kWhite) continue;
+    std::vector<std::pair<int, size_t>> dfs;  // (node, next-edge)
+    dfs.push_back({static_cast<int>(root), 0});
+    mark[root] = Mark::kGray;
+    while (!dfs.empty()) {
+      auto& [node, next] = dfs.back();
+      auto& outs = edges[static_cast<size_t>(node)];
+      if (next < outs.size()) {
+        int succ = outs[next++];
+        if (mark[static_cast<size_t>(succ)] == Mark::kGray) {
+          diags_.error(prog_->funcs[static_cast<size_t>(succ)]->loc,
+                       "recursive call cycle involving '" +
+                           prog_->funcs[static_cast<size_t>(succ)]->name +
+                           "' (recursion is not supported)");
+          return;
+        }
+        if (mark[static_cast<size_t>(succ)] == Mark::kWhite) {
+          mark[static_cast<size_t>(succ)] = Mark::kGray;
+          dfs.push_back({succ, 0});
+        }
+      } else {
+        mark[static_cast<size_t>(node)] = Mark::kBlack;
+        dfs.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace fsopt

@@ -1,0 +1,45 @@
+// Semantic analysis for PPL: name resolution, type checking, struct layout,
+// and the structural restrictions the paper's analysis relies on (§2):
+// no recursion, barriers only at the top level of main, function parameters
+// are immutable (so PDV-ness propagates interprocedurally), locks are only
+// touched via lock()/unlock().
+#pragma once
+
+#include "lang/ast.h"
+
+namespace fsopt {
+
+class Sema {
+ public:
+  explicit Sema(DiagnosticEngine& diags) : diags_(diags) {}
+
+  /// Resolve and check the whole program in place.  Throws CompileError if
+  /// any error is found.
+  void run(Program& prog);
+
+ private:
+  void layout_structs(Program& prog);
+  void check_function(FuncDecl& fn);
+  void check_stmt(Stmt& s, int loop_depth);
+  ValueType check_expr(Expr& e);
+  ValueType check_lvalue(Expr& e, bool lock_context);
+  void check_no_recursion();
+
+  DiagnosticEngine& diags_;
+  Program* prog_ = nullptr;
+  FuncDecl* cur_fn_ = nullptr;
+  bool in_main_ = false;
+  // Scope stack: names visible in the current function, innermost last.
+  std::vector<std::vector<LocalSym*>> scopes_;
+
+  LocalSym* lookup_local(const std::string& name);
+  LocalSym* declare_local(const std::string& name, ScalarKind kind,
+                          SourceLoc loc);
+};
+
+/// Convenience: parse + sema in one call.
+std::unique_ptr<Program> parse_and_check(std::string_view source,
+                                         DiagnosticEngine& diags,
+                                         const ParamOverrides& overrides = {});
+
+}  // namespace fsopt

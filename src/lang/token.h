@@ -1,0 +1,71 @@
+// Token definitions for PPL, the small explicitly-parallel C-like language
+// that stands in for the restricted-C programs the paper analyzes (§2).
+#pragma once
+
+#include <string>
+
+#include "support/diagnostics.h"
+
+namespace fsopt {
+
+enum class Tok {
+  kEof,
+  // Literals and identifiers.
+  kIntLit,
+  kRealLit,
+  kIdent,
+  // Keywords.
+  kKwStruct,
+  kKwParam,
+  kKwInt,
+  kKwReal,
+  kKwLockT,
+  kKwVoid,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwReturn,
+  kKwBarrier,
+  kKwLock,
+  kKwUnlock,
+  kKwNprocs,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemi,
+  kDot,
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kNot,
+};
+
+/// Printable token-kind name (for diagnostics and tests).
+const char* tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  SourceLoc loc;
+  std::string text;  // identifier spelling, or literal spelling
+  i64 int_value = 0;
+  double real_value = 0.0;
+};
+
+}  // namespace fsopt

@@ -1,0 +1,50 @@
+#include "lang/types.h"
+
+namespace fsopt {
+
+i64 scalar_size(ScalarKind k) {
+  switch (k) {
+    case ScalarKind::kInt: return 4;
+    case ScalarKind::kReal: return 8;
+    case ScalarKind::kLock: return 4;
+  }
+  return 4;
+}
+
+const char* scalar_name(ScalarKind k) {
+  switch (k) {
+    case ScalarKind::kInt: return "int";
+    case ScalarKind::kReal: return "real";
+    case ScalarKind::kLock: return "lock_t";
+  }
+  return "?";
+}
+
+int StructType::field_index(const std::string& fname) const {
+  for (size_t i = 0; i < fields.size(); ++i)
+    if (fields[i].name == fname) return static_cast<int>(i);
+  return -1;
+}
+
+i64 ElemType::byte_size() const {
+  return is_struct ? strct->size : scalar_size(scalar);
+}
+
+i64 ElemType::alignment() const {
+  return is_struct ? strct->align : scalar_size(scalar);
+}
+
+std::string ElemType::str() const {
+  return is_struct ? ("struct " + strct->name) : scalar_name(scalar);
+}
+
+const char* value_type_name(ValueType t) {
+  switch (t) {
+    case ValueType::kInt: return "int";
+    case ValueType::kReal: return "real";
+    case ValueType::kVoid: return "void";
+  }
+  return "?";
+}
+
+}  // namespace fsopt

@@ -1,0 +1,73 @@
+// Type system for PPL.
+//
+// PPL deliberately mirrors the restricted-C model of §2 of the paper:
+// statically allocated shared globals (scalars, 1/2-D arrays, arrays of
+// structs whose fields are scalars or fixed-length scalar arrays), private
+// function locals, no source-level pointers (the compiler introduces
+// indirection itself), whole-program compilation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace fsopt {
+
+/// Scalar kinds storable in simulated memory.
+enum class ScalarKind : u8 {
+  kInt,   // 4 bytes, two's complement
+  kReal,  // 8 bytes, IEEE double
+  kLock,  // 4 bytes, test-and-test-and-set word
+};
+
+/// Size in bytes of one scalar of kind `k`.
+i64 scalar_size(ScalarKind k);
+
+/// Printable name ("int", "real", "lock_t").
+const char* scalar_name(ScalarKind k);
+
+/// One field of a struct type: a scalar or a fixed-length scalar array.
+struct StructField {
+  std::string name;
+  ScalarKind kind = ScalarKind::kInt;
+  i64 array_len = 0;  // 0 => scalar field; >0 => field is kind[array_len]
+  i64 offset = 0;     // byte offset within the struct (natural alignment)
+  SourceLoc loc;
+
+  i64 byte_size() const {
+    return scalar_size(kind) * (array_len > 0 ? array_len : 1);
+  }
+};
+
+/// A user-declared struct type.  Layout (offsets, size) is computed by sema
+/// with natural alignment, the same layout a C compiler would produce for
+/// the paper's programs.
+struct StructType {
+  std::string name;
+  std::vector<StructField> fields;
+  i64 size = 0;   // padded to alignment
+  i64 align = 0;  // max field scalar alignment
+  SourceLoc loc;
+
+  /// Index of field `name`, or -1.
+  int field_index(const std::string& fname) const;
+};
+
+/// Element type of a global: a scalar kind or a struct.
+struct ElemType {
+  bool is_struct = false;
+  ScalarKind scalar = ScalarKind::kInt;
+  const StructType* strct = nullptr;
+
+  i64 byte_size() const;
+  i64 alignment() const;
+  std::string str() const;
+};
+
+/// Expression value types used by the type checker.
+enum class ValueType : u8 { kInt, kReal, kVoid };
+
+const char* value_type_name(ValueType t);
+
+}  // namespace fsopt

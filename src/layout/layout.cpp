@@ -1,0 +1,70 @@
+#include "layout/layout.h"
+
+namespace fsopt {
+
+std::vector<i64> row_major_strides(const std::vector<i64>& extents,
+                                   i64 elem_size) {
+  std::vector<i64> strides(extents.size());
+  i64 s = elem_size;
+  for (size_t i = extents.size(); i-- > 0;) {
+    strides[i] = s;
+    s *= extents[i];
+  }
+  return strides;
+}
+
+ResolvedAccess LayoutPlan::resolve(const GlobalSym& sym, int field) const {
+  ResolvedAccess out;
+  if (field >= 0) {
+    if (const DatumLayout* fl = get(sym.id, field)) {
+      out.base = fl->base;
+      out.dims = fl->dims;
+      out.const_off = fl->const_off;
+      out.indirection = fl->indirection;
+      return out;
+    }
+  }
+  const DatumLayout* sl = get(sym.id, -1);
+  FSOPT_CHECK(sl != nullptr, "no layout for symbol " + sym.name);
+  out.base = sl->base;
+  out.dims = sl->dims;
+  out.const_off = sl->const_off;
+  if (field >= 0) {
+    FSOPT_CHECK(sym.elem.is_struct, "field access on non-struct symbol");
+    const StructField& f =
+        sym.elem.strct->fields[static_cast<size_t>(field)];
+    i64 foff = sl->field_offsets.empty()
+                   ? f.offset
+                   : sl->field_offsets[static_cast<size_t>(field)];
+    out.const_off += foff;
+    if (f.array_len > 0)
+      out.dims.push_back({1, 0, scalar_size(f.kind)});
+  }
+  return out;
+}
+
+i64 LayoutPlan::base_of(const GlobalSym& sym) const {
+  const DatumLayout* sl = get(sym.id, -1);
+  FSOPT_CHECK(sl != nullptr, "no layout for symbol " + sym.name);
+  return sl->base;
+}
+
+LayoutPlan identity_layout(const Program& prog) {
+  LayoutPlan plan;
+  i64 cursor = 0;
+  for (const auto& g : prog.globals) {
+    i64 align = g->elem.alignment();
+    cursor = round_up(cursor, align);
+    DatumLayout l;
+    l.base = cursor;
+    i64 elem = g->elem.byte_size();
+    std::vector<i64> strides = row_major_strides(g->dims, elem);
+    for (i64 s : strides) l.dims.push_back({1, 0, s});
+    plan.set(g->id, -1, std::move(l));
+    cursor += g->byte_size();
+  }
+  plan.set_total_bytes(cursor);
+  return plan;
+}
+
+}  // namespace fsopt

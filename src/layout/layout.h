@@ -1,0 +1,103 @@
+// Memory layout engine: assigns every shared datum a simulated address.
+//
+// A layout is a *function* from (symbol, field, index vector) to a byte
+// address.  The four §3.2 transformations are pure re-mappings of this
+// function (indirection additionally issues one pointer-slot load per
+// access).  The unoptimized layout allocates globals in declaration order
+// with natural alignment — which is exactly how adjacent busy scalars and
+// unpadded locks come to share cache blocks in the original programs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace fsopt {
+
+/// Address contribution of one access dimension with index value x:
+///   (x % split) * stride_lo + (x / split) * stride_hi
+/// split == 1 reduces to x * stride_hi (the common linear case).
+/// Blocked group&transpose uses split=C (chunk within region, region
+/// select); interleaved group&transpose uses split=P (region select,
+/// slot within region).
+struct DimMap {
+  i64 split = 1;
+  i64 stride_lo = 0;
+  i64 stride_hi = 0;
+
+  i64 apply(i64 x) const {
+    return split == 1 ? x * stride_hi
+                      : (x % split) * stride_lo + (x / split) * stride_hi;
+  }
+};
+
+/// Indirection bookkeeping: where the pointer slot lives.  The datum
+/// address itself is produced by the DatumLayout dims (which place the
+/// data in per-process heap regions); the pointer slot is an extra load on
+/// every access (the transformation's run-time cost, §3.2).
+struct IndirectionInfo {
+  i64 ptr_base = 0;
+  std::vector<DimMap> ptr_dims;  // over the symbol's array dims only
+  i64 ptr_off = 0;
+};
+
+/// How one datum (symbol, or one field) is addressed.
+struct DatumLayout {
+  i64 base = 0;
+  std::vector<DimMap> dims;  // one per access dimension
+  i64 const_off = 0;
+  std::optional<IndirectionInfo> indirection;
+  /// For symbol-level layouts of struct arrays whose struct was rebuilt
+  /// (indirection compaction, field padding): per-field byte offsets.
+  /// Empty = use the natural offsets from the StructType.
+  std::vector<i64> field_offsets;
+  /// Present for symbol-level layouts of struct arrays whose fields keep
+  /// their own array-ness; the rebuilt element size (0 = natural).
+  i64 elem_size_override = 0;
+};
+
+/// A datum fully resolved for access-plan construction.
+struct ResolvedAccess {
+  i64 base = 0;
+  std::vector<DimMap> dims;  // one per access dim (array dims + field dim)
+  i64 const_off = 0;
+  std::optional<IndirectionInfo> indirection;
+};
+
+class LayoutPlan {
+ public:
+  /// Total simulated bytes of shared data (heap regions included).
+  i64 total_bytes() const { return total_bytes_; }
+  void set_total_bytes(i64 n) { total_bytes_ = n; }
+
+  void set(int sym, int field, DatumLayout l) {
+    map_[{sym, field}] = std::move(l);
+  }
+  const DatumLayout* get(int sym, int field) const {
+    auto it = map_.find({sym, field});
+    return it != map_.end() ? &it->second : nullptr;
+  }
+
+  /// Resolve addressing for an access to `sym` (field >= 0 for struct
+  /// fields).  Field-specific layouts take precedence over the symbol's.
+  ResolvedAccess resolve(const GlobalSym& sym, int field) const;
+
+  /// Base address of a symbol (for tests / reports).
+  i64 base_of(const GlobalSym& sym) const;
+
+ private:
+  std::map<std::pair<int, int>, DatumLayout> map_;
+  i64 total_bytes_ = 0;
+};
+
+/// Row-major strides (in bytes) for the given extents and element size.
+std::vector<i64> row_major_strides(const std::vector<i64>& extents,
+                                   i64 elem_size);
+
+/// The unoptimized layout: declaration order, natural alignment,
+/// row-major arrays, natural struct field offsets.
+LayoutPlan identity_layout(const Program& prog);
+
+}  // namespace fsopt

@@ -1,0 +1,190 @@
+#include "rsd/affine.h"
+
+#include <sstream>
+
+namespace fsopt {
+
+Affine Affine::constant(i64 c) {
+  Affine a;
+  a.valid_ = true;
+  a.c0_ = c;
+  return a;
+}
+
+Affine Affine::variable(const LocalSym* v, i64 coeff, i64 c) {
+  Affine a;
+  a.valid_ = true;
+  a.c0_ = c;
+  if (coeff != 0) a.terms_[v] = coeff;
+  return a;
+}
+
+i64 Affine::constant_value() const {
+  FSOPT_CHECK(is_constant(), "affine is not constant");
+  return c0_;
+}
+
+i64 Affine::coeff(const LocalSym* v) const {
+  auto it = terms_.find(v);
+  return it != terms_.end() ? it->second : 0;
+}
+
+const LocalSym* Affine::sole_var() const {
+  if (!valid_ || terms_.size() != 1) return nullptr;
+  return terms_.begin()->first;
+}
+
+Affine Affine::operator+(const Affine& o) const {
+  if (!valid_ || !o.valid_) return invalid();
+  Affine r = *this;
+  r.c0_ += o.c0_;
+  for (const auto& [v, c] : o.terms_) {
+    i64 nc = r.coeff(v) + c;
+    if (nc == 0) {
+      r.terms_.erase(v);
+    } else {
+      r.terms_[v] = nc;
+    }
+  }
+  return r;
+}
+
+Affine Affine::negate() const {
+  if (!valid_) return invalid();
+  Affine r = *this;
+  r.c0_ = -r.c0_;
+  for (auto& [v, c] : r.terms_) c = -c;
+  return r;
+}
+
+Affine Affine::operator-(const Affine& o) const { return *this + o.negate(); }
+
+Affine Affine::operator*(const Affine& o) const {
+  if (!valid_ || !o.valid_) return invalid();
+  const Affine* k = nullptr;
+  const Affine* x = nullptr;
+  if (is_constant()) {
+    k = this;
+    x = &o;
+  } else if (o.is_constant()) {
+    k = &o;
+    x = this;
+  } else {
+    return invalid();  // product of two symbolic affines is not affine
+  }
+  i64 f = k->c0_;
+  Affine r;
+  r.valid_ = true;
+  r.c0_ = x->c0_ * f;
+  if (f != 0)
+    for (const auto& [v, c] : x->terms_) r.terms_[v] = c * f;
+  return r;
+}
+
+bool Affine::operator==(const Affine& o) const {
+  if (valid_ != o.valid_) return false;
+  if (!valid_) return true;
+  return c0_ == o.c0_ && terms_ == o.terms_;
+}
+
+Affine Affine::subst(const LocalSym* v, const Affine& repl) const {
+  if (!valid_) return invalid();
+  i64 c = coeff(v);
+  if (c == 0) return *this;
+  Affine without = *this;
+  without.terms_.erase(v);
+  return without + repl * Affine::constant(c);
+}
+
+std::optional<i64> Affine::eval_with(const LocalSym* v, i64 value) const {
+  if (!valid_) return std::nullopt;
+  i64 r = c0_;
+  for (const auto& [var, c] : terms_) {
+    if (var == v) {
+      r += c * value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return r;
+}
+
+std::optional<i64> Affine::eval() const {
+  if (!valid_ || !terms_.empty()) return std::nullopt;
+  return c0_;
+}
+
+std::string Affine::str() const {
+  if (!valid_) return "<?>";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [v, c] : terms_) {
+    if (!first) os << (c >= 0 ? " + " : " - ");
+    i64 ac = first ? c : std::abs(c);
+    if (ac == 1) {
+      os << v->name;
+    } else if (ac == -1 && first) {
+      os << "-" << v->name;
+    } else {
+      os << ac << "*" << v->name;
+    }
+    first = false;
+  }
+  if (c0_ != 0 || first) {
+    if (!first) os << (c0_ >= 0 ? " + " : " - ");
+    os << (first ? c0_ : std::abs(c0_));
+  }
+  return os.str();
+}
+
+Affine AffineEnv::value_of(const LocalSym* v) const {
+  auto it = env_.find(v);
+  return it != env_.end() ? it->second : Affine::invalid();
+}
+
+void AffineEnv::join(const AffineEnv& other) {
+  for (auto& [v, a] : env_) {
+    auto it = other.env_.find(v);
+    if (it == other.env_.end() || !(it->second == a)) a = Affine::invalid();
+  }
+  for (const auto& [v, a] : other.env_) {
+    (void)a;
+    if (env_.find(v) == env_.end()) env_[v] = Affine::invalid();
+  }
+}
+
+Affine affine_of(const Expr& e, const AffineEnv& env) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return Affine::constant(e.int_value);
+    case ExprKind::kVar:
+      if (e.local != nullptr) return env.value_of(e.local);
+      return Affine::invalid();  // global load
+    case ExprKind::kUnary:
+      if (e.un_op == UnOp::kNeg)
+        return affine_of(*e.children[0], env).negate();
+      return Affine::invalid();
+    case ExprKind::kBinary: {
+      Affine l = affine_of(*e.children[0], env);
+      Affine r = affine_of(*e.children[1], env);
+      switch (e.bin_op) {
+        case BinOp::kAdd: return l + r;
+        case BinOp::kSub: return l - r;
+        case BinOp::kMul: return l * r;
+        case BinOp::kDiv:
+          // Exact constant division only.
+          if (l.valid() && r.is_constant() && r.constant_value() != 0 &&
+              l.is_constant() &&
+              l.constant_value() % r.constant_value() == 0)
+            return Affine::constant(l.constant_value() / r.constant_value());
+          return Affine::invalid();
+        default:
+          return Affine::invalid();
+      }
+    }
+    default:
+      return Affine::invalid();
+  }
+}
+
+}  // namespace fsopt

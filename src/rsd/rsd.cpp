@@ -1,0 +1,362 @@
+#include "rsd/rsd.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace fsopt {
+
+DimSec DimSec::invariant(Affine a) {
+  if (!a.valid()) return unknown();
+  DimSec d;
+  d.kind_ = Kind::kInvariant;
+  d.lo_ = std::move(a);
+  return d;
+}
+
+DimSec DimSec::strided_unknown(i64 stride) {
+  DimSec d;
+  d.kind_ = Kind::kStridedUnknown;
+  d.stride_ = std::max<i64>(stride, 1);
+  return d;
+}
+
+DimSec DimSec::range(Affine lo, Affine hi, i64 stride) {
+  if (!lo.valid() || !hi.valid() || stride <= 0) return unknown();
+  // Degenerate range is just an invariant subscript.
+  if (lo == hi) return invariant(lo);
+  DimSec d;
+  d.kind_ = Kind::kRange;
+  d.lo_ = std::move(lo);
+  d.hi_ = std::move(hi);
+  d.stride_ = stride;
+  return d;
+}
+
+bool DimSec::operator==(const DimSec& o) const {
+  if (kind_ != o.kind_) return false;
+  switch (kind_) {
+    case Kind::kUnknown: return true;
+    case Kind::kStridedUnknown: return stride_ == o.stride_;
+    case Kind::kInvariant: return lo_ == o.lo_;
+    case Kind::kRange:
+      return lo_ == o.lo_ && hi_ == o.hi_ && stride_ == o.stride_;
+  }
+  return false;
+}
+
+DimSec DimSec::subst(const LocalSym* v, const Affine& repl) const {
+  switch (kind_) {
+    case Kind::kUnknown:
+    case Kind::kStridedUnknown:
+      return *this;
+    case Kind::kInvariant:
+      return invariant(lo_.subst(v, repl));
+    case Kind::kRange: {
+      Affine nlo = lo_.subst(v, repl);
+      Affine nhi = hi_.subst(v, repl);
+      if (!nlo.valid() || !nhi.valid()) return unknown();
+      return range(std::move(nlo), std::move(nhi), stride_);
+    }
+  }
+  return unknown();
+}
+
+DimSec DimSec::close_loop(const LocalSym* iv, const Affine& lo,
+                          const Affine& hi, i64 step) const {
+  if (!depends_on(iv)) return *this;
+  if (step <= 0) return unknown();
+  switch (kind_) {
+    case Kind::kUnknown:
+    case Kind::kStridedUnknown:
+      return *this;
+    case Kind::kInvariant: {
+      i64 c = lo_.coeff(iv);
+      if (!lo.valid() || !hi.valid()) {
+        // Bounds are unknown, but the sweep stride is not.
+        return strided_unknown(std::abs(c) * step);
+      }
+      Affine at_lo = lo_.subst(iv, lo);
+      Affine at_hi = lo_.subst(iv, hi);
+      if (!at_lo.valid() || !at_hi.valid())
+        return strided_unknown(std::abs(c) * step);
+      i64 stride = std::abs(c) * step;
+      if (c >= 0) return range(at_lo, at_hi, stride);
+      return range(at_hi, at_lo, stride);
+    }
+    case Kind::kRange: {
+      // Widen to the hull over all iterations; the resulting section loses
+      // stride information (conservatively set to 1).
+      if (!lo.valid() || !hi.valid()) return strided_unknown(1);
+      i64 clo = lo_.coeff(iv);
+      i64 chi = hi_.coeff(iv);
+      Affine nlo = lo_.subst(iv, clo >= 0 ? lo : hi);
+      Affine nhi = hi_.subst(iv, chi >= 0 ? hi : lo);
+      if (!nlo.valid() || !nhi.valid()) return strided_unknown(1);
+      return range(nlo, nhi, 1);
+    }
+  }
+  return unknown();
+}
+
+bool DimSec::depends_on(const LocalSym* v) const {
+  switch (kind_) {
+    case Kind::kUnknown:
+    case Kind::kStridedUnknown:
+      return false;
+    case Kind::kInvariant: return lo_.depends_on(v);
+    case Kind::kRange: return lo_.depends_on(v) || hi_.depends_on(v);
+  }
+  return false;
+}
+
+bool DimSec::has_unit_stride_run(i64 min_run) const {
+  if (kind_ == Kind::kStridedUnknown)
+    return stride_ == 1;  // unit-stride sweep of unknown length: assume run
+  if (kind_ != Kind::kRange || stride_ != 1) return false;
+  // Run length is hi - lo + 1 when both are evaluable relative to each
+  // other (difference must be constant).
+  Affine diff = hi_ - lo_;
+  if (!diff.is_constant()) return true;  // symbolic but unit stride: assume
+  return diff.constant_value() + 1 >= min_run;
+}
+
+std::string DimSec::str() const {
+  switch (kind_) {
+    case Kind::kUnknown: return "[?]";
+    case Kind::kStridedUnknown:
+      return "[? : ? : " + std::to_string(stride_) + "]";
+    case Kind::kInvariant: return "[" + lo_.str() + "]";
+    case Kind::kRange: {
+      std::ostringstream os;
+      os << "[" << lo_.str() << " : " << hi_.str();
+      if (stride_ != 1) os << " : " << stride_;
+      os << "]";
+      return os.str();
+    }
+  }
+  return "[?]";
+}
+
+// ---------------------------------------------------------------------------
+
+bool ranges_intersect(const ConcreteRange& a, const ConcreteRange& b) {
+  if (a.empty() || b.empty()) return false;
+  i64 lo = std::max(a.lo, b.lo);
+  i64 hi = std::min(a.hi, b.hi);
+  if (lo > hi) return false;
+  i64 s = a.stride;
+  i64 t = b.stride;
+  FSOPT_CHECK(s > 0 && t > 0, "range strides must be positive");
+  i64 g = std::gcd(s, t);
+  if ((b.lo - a.lo) % g != 0) return false;
+  // CRT: find x ≡ a.lo (mod s), x ≡ b.lo (mod t); smallest such x >= lo.
+  // Solve a.lo + i*s = b.lo + j*t.  Using extended gcd on (s, t).
+  i64 x0 = 0, y0 = 0;
+  // Extended Euclid: g = s*x0 + t*y0.
+  {
+    i64 old_r = s, r = t, old_s = 1, ss = 0, old_t = 0, tt = 1;
+    while (r != 0) {
+      i64 q = old_r / r;
+      i64 tmp = old_r - q * r;
+      old_r = r;
+      r = tmp;
+      tmp = old_s - q * ss;
+      old_s = ss;
+      ss = tmp;
+      tmp = old_t - q * tt;
+      old_t = tt;
+      tt = tmp;
+    }
+    x0 = old_s;
+    y0 = old_t;
+    (void)y0;
+  }
+  i64 l = s / g * t;  // lcm
+  // One solution: x = a.lo + s * ((b.lo - a.lo)/g * x0 mod (t/g))
+  __int128 k = static_cast<__int128>((b.lo - a.lo) / g) * x0;
+  i64 m = t / g;
+  i64 km = static_cast<i64>(k % m);
+  if (km < 0) km += m;
+  i64 x = a.lo + km * s;  // smallest solution >= ??? (x >= a.lo, mod lcm)
+  // Move x into [lo, lo + l):
+  if (x < lo) {
+    x += (lo - x + l - 1) / l * l;
+  } else {
+    x -= (x - lo) / l * l;
+  }
+  return x >= lo && x <= hi;
+}
+
+bool boxes_disjoint(const std::vector<ConcreteRange>& a,
+                    const std::vector<ConcreteRange>& b) {
+  FSOPT_CHECK(a.size() == b.size(), "box rank mismatch");
+  if (a.empty()) return false;  // scalar: same location
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ranges_intersect(a[i], b[i])) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+
+Rsd Rsd::subst(const LocalSym* v, const Affine& repl) const {
+  std::vector<DimSec> out;
+  out.reserve(dims_.size());
+  for (const auto& d : dims_) out.push_back(d.subst(v, repl));
+  return Rsd(std::move(out));
+}
+
+Rsd Rsd::close_loop(const LocalSym* iv, const Affine& lo, const Affine& hi,
+                    i64 step) const {
+  std::vector<DimSec> out;
+  out.reserve(dims_.size());
+  for (const auto& d : dims_) out.push_back(d.close_loop(iv, lo, hi, step));
+  return Rsd(std::move(out));
+}
+
+bool Rsd::depends_on(const LocalSym* v) const {
+  for (const auto& d : dims_)
+    if (d.depends_on(v)) return true;
+  return false;
+}
+
+std::vector<ConcreteRange> Rsd::concretize(
+    const LocalSym* pdv, i64 pid, const std::vector<i64>& extents) const {
+  FSOPT_CHECK(extents.size() == dims_.size(), "extent rank mismatch");
+  std::vector<ConcreteRange> out(dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    const DimSec& d = dims_[i];
+    ConcreteRange full{0, extents[i] - 1, 1};
+    switch (d.kind()) {
+      case DimSec::Kind::kUnknown:
+      case DimSec::Kind::kStridedUnknown:
+        // The stride phase is unknown, so the section may touch anything.
+        out[i] = full;
+        break;
+      case DimSec::Kind::kInvariant: {
+        auto v = d.invariant_expr().eval_with(pdv, pid);
+        if (!v.has_value()) {
+          out[i] = full;
+        } else {
+          i64 x = std::clamp<i64>(*v, 0, extents[i] - 1);
+          out[i] = {x, x, 1};
+        }
+        break;
+      }
+      case DimSec::Kind::kRange: {
+        auto lo = d.lo().eval_with(pdv, pid);
+        auto hi = d.hi().eval_with(pdv, pid);
+        if (!lo.has_value() || !hi.has_value()) {
+          out[i] = full;
+        } else {
+          i64 l = std::clamp<i64>(*lo, 0, extents[i] - 1);
+          i64 h = std::clamp<i64>(*hi, 0, extents[i] - 1);
+          if (h < l) std::swap(l, h);
+          // Normalize hi onto the progression.
+          h = l + (h - l) / d.stride() * d.stride();
+          out[i] = {l, h, d.stride()};
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+DimSec dim_hull(const DimSec& a, const DimSec& b) {
+  if (a == b) return a;
+  if (a.is_unknown() || b.is_unknown()) return DimSec::unknown();
+  // Promote invariants to degenerate ranges and take component hulls when
+  // the symbolic parts agree (differ only in constants).
+  auto lo_a = a.kind() == DimSec::Kind::kRange ? a.lo() : a.invariant_expr();
+  auto hi_a = a.kind() == DimSec::Kind::kRange ? a.hi() : a.invariant_expr();
+  auto lo_b = b.kind() == DimSec::Kind::kRange ? b.lo() : b.invariant_expr();
+  auto hi_b = b.kind() == DimSec::Kind::kRange ? b.hi() : b.invariant_expr();
+  Affine dlo = lo_a - lo_b;
+  Affine dhi = hi_a - hi_b;
+  if (!dlo.is_constant() || !dhi.is_constant()) return DimSec::unknown();
+  Affine lo = dlo.constant_value() <= 0 ? lo_a : lo_b;
+  Affine hi = dhi.constant_value() >= 0 ? hi_a : hi_b;
+  i64 sa = a.kind() == DimSec::Kind::kRange ? a.stride() : 1;
+  i64 sb = b.kind() == DimSec::Kind::kRange ? b.stride() : 1;
+  i64 stride = std::gcd(sa, sb);
+  // Strides only remain meaningful if the two sections are in phase.
+  if (a.kind() == DimSec::Kind::kRange && b.kind() == DimSec::Kind::kRange &&
+      dlo.constant_value() % stride != 0)
+    stride = std::gcd(stride, std::abs(dlo.constant_value()));
+  if (stride == 0) stride = 1;
+  return DimSec::range(lo, hi, stride);
+}
+
+}  // namespace
+
+Rsd Rsd::hull(const Rsd& o) const {
+  FSOPT_CHECK(rank() == o.rank(), "hull rank mismatch");
+  std::vector<DimSec> out;
+  out.reserve(rank());
+  for (size_t i = 0; i < rank(); ++i)
+    out.push_back(dim_hull(dims_[i], o.dims_[i]));
+  return Rsd(std::move(out));
+}
+
+i64 Rsd::footprint(const LocalSym* pdv, const std::vector<i64>& extents) const {
+  auto box = concretize(pdv, 0, extents);
+  i64 n = 1;
+  for (const auto& r : box) n *= std::max<i64>(r.count(), 1);
+  return n;
+}
+
+std::string Rsd::str() const {
+  std::string s;
+  for (const auto& d : dims_) s += d.str();
+  if (dims_.empty()) s = "[scalar]";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+
+void RsdSet::insert(const Rsd& r) {
+  for (const auto& existing : secs_)
+    if (existing == r) return;
+  secs_.push_back(r);
+  if (secs_.size() <= kMaxDescriptors) return;
+  // Over the cap: merge the pair whose hull loses the least precision.
+  // We approximate "closeness" by choosing the pair whose hull equals one
+  // of the inputs when possible, else merge the last two.
+  size_t bi = secs_.size() - 2;
+  size_t bj = secs_.size() - 1;
+  for (size_t i = 0; i < secs_.size(); ++i) {
+    for (size_t j = i + 1; j < secs_.size(); ++j) {
+      Rsd h = secs_[i].hull(secs_[j]);
+      if (h == secs_[i] || h == secs_[j]) {
+        bi = i;
+        bj = j;
+        goto merge;
+      }
+    }
+  }
+merge:
+  Rsd merged = secs_[bi].hull(secs_[bj]);
+  secs_.erase(secs_.begin() + static_cast<std::ptrdiff_t>(bj));
+  secs_[bi] = std::move(merged);
+}
+
+RsdSet RsdSet::subst(const LocalSym* v, const Affine& repl) const {
+  RsdSet out;
+  for (const auto& r : secs_) out.insert(r.subst(v, repl));
+  return out;
+}
+
+std::string RsdSet::str() const {
+  std::string s;
+  for (const auto& r : secs_) {
+    if (!s.empty()) s += ", ";
+    s += r.str();
+  }
+  return s.empty() ? "{}" : "{" + s + "}";
+}
+
+}  // namespace fsopt

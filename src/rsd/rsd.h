@@ -1,0 +1,146 @@
+// Bounded regular section descriptors (Havlak & Kennedy style), the
+// representation the paper uses for per-process array sections (§3.1).
+//
+// A descriptor has one entry per array dimension.  Each entry is either an
+// invariant affine expression (single subscript), a bounded range
+// {lo : hi : stride} with affine bounds, or unknown.  After summaries are
+// translated to main, the only symbolic variable left is the PDV, so a
+// descriptor can be *concretized* for a given process id and tested for
+// disjointness against another process's sections — the implicit-array-
+// partitioning test of §3.1.
+#pragma once
+
+#include <vector>
+
+#include "rsd/affine.h"
+
+namespace fsopt {
+
+/// One dimension of a regular section.
+class DimSec {
+ public:
+  enum class Kind : u8 { kInvariant, kRange, kUnknown, kStridedUnknown };
+
+  DimSec() : kind_(Kind::kUnknown) {}
+  static DimSec invariant(Affine a);
+  static DimSec range(Affine lo, Affine hi, i64 stride);
+  static DimSec unknown() { return DimSec(); }
+  /// A section whose bounds are unknown but whose stride is known — e.g.
+  /// a unit-stride sweep from a base loaded from shared memory.  Keeps
+  /// the spatial-locality information the §3.3 heuristics need even when
+  /// the partitioning itself is invisible (the paper's Topopt case).
+  static DimSec strided_unknown(i64 stride);
+
+  Kind kind() const { return kind_; }
+  bool is_unknown() const { return kind_ == Kind::kUnknown; }
+  const Affine& invariant_expr() const { return lo_; }
+  const Affine& lo() const { return lo_; }
+  const Affine& hi() const { return hi_; }
+  i64 stride() const { return stride_; }
+
+  bool operator==(const DimSec& o) const;
+
+  /// Substitute `v := repl` in all affine components.
+  DimSec subst(const LocalSym* v, const Affine& repl) const;
+
+  /// Eliminate loop induction variable `iv` which ranges over
+  /// {lo .. hi} step `step` (all iterations): an invariant expression
+  /// `c0 + c·iv` becomes the range it sweeps; a range whose bounds mention
+  /// `iv` is widened to the hull.  Returns unknown when no sound closed
+  /// form exists.
+  DimSec close_loop(const LocalSym* iv, const Affine& lo, const Affine& hi,
+                    i64 step) const;
+
+  bool depends_on(const LocalSym* v) const;
+
+  /// True when this section touches elements with unit stride over a range
+  /// of at least `min_run` elements (used by the spatial-locality
+  /// heuristic, §3.3).
+  bool has_unit_stride_run(i64 min_run) const;
+
+  std::string str() const;
+
+ private:
+  Kind kind_;
+  Affine lo_;      // invariant expr, or range lower bound
+  Affine hi_;      // range upper bound (inclusive)
+  i64 stride_ = 1; // range stride (> 0)
+};
+
+/// Concrete (fully evaluated) arithmetic progression within one dimension:
+/// {lo, lo+stride, ..., hi}, clamped to [0, extent).
+struct ConcreteRange {
+  i64 lo = 0;
+  i64 hi = -1;  // inclusive; hi < lo means empty
+  i64 stride = 1;
+
+  bool empty() const { return hi < lo; }
+  i64 count() const { return empty() ? 0 : (hi - lo) / stride + 1; }
+};
+
+/// Stride-aware intersection test for two arithmetic progressions.  This is
+/// what detects that `a[2*i]` and `a[2*i+1]` — or a[i*P + p] for different
+/// p — never touch the same element.
+bool ranges_intersect(const ConcreteRange& a, const ConcreteRange& b);
+
+/// A bounded regular section descriptor: one DimSec per array dimension.
+class Rsd {
+ public:
+  Rsd() = default;
+  explicit Rsd(std::vector<DimSec> dims) : dims_(std::move(dims)) {}
+
+  const std::vector<DimSec>& dims() const { return dims_; }
+  std::vector<DimSec>& dims() { return dims_; }
+  size_t rank() const { return dims_.size(); }
+
+  bool operator==(const Rsd& o) const { return dims_ == o.dims_; }
+
+  Rsd subst(const LocalSym* v, const Affine& repl) const;
+  Rsd close_loop(const LocalSym* iv, const Affine& lo, const Affine& hi,
+                 i64 step) const;
+  bool depends_on(const LocalSym* v) const;
+
+  /// Evaluate for a concrete PDV value.  Any dimension that cannot be
+  /// evaluated becomes the full [0, extent) range (conservative).
+  std::vector<ConcreteRange> concretize(const LocalSym* pdv, i64 pid,
+                                        const std::vector<i64>& extents) const;
+
+  /// Merge with another descriptor of the same rank into a section that
+  /// contains both (per-dimension hull; disagreement widens to unknown).
+  Rsd hull(const Rsd& o) const;
+
+  /// A rough size metric: how many concrete elements the section may touch
+  /// for pid 0 (used to prefer precise descriptors when merging).
+  i64 footprint(const LocalSym* pdv, const std::vector<i64>& extents) const;
+
+  std::string str() const;
+
+ private:
+  std::vector<DimSec> dims_;
+};
+
+/// Disjointness of two concretized sections: true if the outer products of
+/// the per-dimension progressions cannot share any element.
+bool boxes_disjoint(const std::vector<ConcreteRange>& a,
+                    const std::vector<ConcreteRange>& b);
+
+/// A set of descriptors for one datum, capped at `kMaxDescriptors`
+/// (the paper found ≤ 10 sufficed for all benchmark arrays); inserting
+/// beyond the cap merges the two closest descriptors.
+class RsdSet {
+ public:
+  static constexpr size_t kMaxDescriptors = 10;
+
+  void insert(const Rsd& r);
+  const std::vector<Rsd>& sections() const { return secs_; }
+  bool empty() const { return secs_.empty(); }
+
+  RsdSet subst(const LocalSym* v, const Affine& repl) const;
+
+  std::string str() const;
+
+ private:
+  std::vector<Rsd> secs_;
+};
+
+}  // namespace fsopt

@@ -1,0 +1,24 @@
+#include "sim/attribution.h"
+
+namespace fsopt {
+
+void AddressMap::add(i64 lo, i64 hi, std::string name) {
+  FSOPT_CHECK(hi >= lo, "bad address range");
+  ranges_.push_back({lo, hi, std::move(name)});
+}
+
+int AddressMap::index_of(i64 addr) const {
+  int best = -1;
+  i64 best_size = 0;
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    const AddrRange& r = ranges_[i];
+    if (addr < r.lo || addr >= r.hi) continue;
+    if (best < 0 || r.size() < best_size) {
+      best = static_cast<int>(i);
+      best_size = r.size();
+    }
+  }
+  return best;
+}
+
+}  // namespace fsopt

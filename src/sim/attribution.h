@@ -1,0 +1,39 @@
+// Attribution of cache events to program data structures.
+//
+// The paper validates its static analysis against per-data-structure
+// false-sharing profiles from simulation (§3.3, §5).  An AddressMap maps
+// simulated addresses back to the datum that owns them so the simulators
+// can report per-structure miss breakdowns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace fsopt {
+
+struct AddrRange {
+  i64 lo = 0;
+  i64 hi = 0;  // exclusive
+  std::string name;
+  i64 size() const { return hi - lo; }
+};
+
+class AddressMap {
+ public:
+  void add(i64 lo, i64 hi, std::string name);
+
+  /// Index of the smallest range containing addr, or -1.  (Ranges may
+  /// overlap, e.g. group&transpose members within the group region.)
+  int index_of(i64 addr) const;
+  const std::string& name_of(int index) const {
+    return ranges_[static_cast<size_t>(index)].name;
+  }
+  const std::vector<AddrRange>& ranges() const { return ranges_; }
+
+ private:
+  std::vector<AddrRange> ranges_;
+};
+
+}  // namespace fsopt

@@ -1,0 +1,137 @@
+// Multiprocessor cache simulation (§4): one first-level cache per
+// processor, write-invalidate (MSI) coherence, infinite second level.
+// Misses are classified at word granularity by MissClassifier.
+#pragma once
+
+#include <array>
+#include <map>
+#include <unordered_map>
+
+#include "sim/attribution.h"
+#include "sim/classify.h"
+#include "trace/trace.h"
+
+namespace fsopt {
+
+struct CacheParams {
+  i64 nprocs = 8;
+  i64 cache_bytes = 32 * 1024;  // per-processor L1 (the simulation study)
+  i64 block_size = 128;
+  i64 total_bytes = 0;  // simulated address-space size (for the classifier)
+  i64 associativity = 1;  // ways per set (LRU replacement)
+  /// Dubois-style hardware ablation (§6 related work): invalidate at word
+  /// rather than block granularity.  A remote write only invalidates the
+  /// written words, so pure false-sharing misses disappear entirely — at
+  /// the cost of per-word valid bits in hardware.
+  bool word_invalidate = false;
+};
+
+struct AccessOutcome {
+  MissKind kind = MissKind::kHit;
+  bool upgrade = false;    // write hit on a Shared line (invalidation sent)
+  int source_proc = -1;    // cache that services the miss (-1: memory/L2)
+  int invalidated = 0;     // remote copies invalidated by this access
+};
+
+/// Per-processor caches + directory + classifier.  Used by both the
+/// trace-driven study (CacheSim) and the KSR timing model.
+class CoherentCache {
+ public:
+  explicit CoherentCache(const CacheParams& p);
+
+  /// Simulate one reference; returns the outcome.  References spanning
+  /// multiple blocks (8-byte data with 4-byte blocks) are split internally
+  /// and the most severe outcome is reported.
+  AccessOutcome access(int proc, i64 addr, i64 size, bool is_write);
+
+  const CacheParams& params() const { return params_; }
+
+ private:
+  enum class LineState : u8 { kInvalid, kShared, kModified };
+  struct Line {
+    i64 block = -1;
+    LineState state = LineState::kInvalid;
+    u64 lru = 0;  // last-use stamp within the set
+  };
+  struct DirEntry {
+    u64 sharers = 0;  // bit per processor
+    int owner = -1;   // processor holding the line Modified, or -1
+  };
+
+  AccessOutcome access_block(int proc, i64 addr, i64 size, bool is_write);
+  /// The way holding `block` in `proc`'s set, or nullptr.
+  Line* find_line(int proc, i64 block);
+  /// The way to (re)fill for `block`: the resident way if present, else
+  /// the least-recently-used way of the set.
+  Line& victim_line(int proc, i64 block);
+  void drop_from_dir(i64 block, int proc);
+  /// Invalidate remote copies on a write by `proc`; returns the count.
+  /// Under word_invalidate, remote copies whose words were not written
+  /// stay valid (the Dubois et al. hardware scheme).
+  int invalidate_remote(int proc, i64 block);
+
+  CacheParams params_;
+  i64 sets_;
+  std::vector<std::vector<Line>> caches_;  // [proc][set * assoc + way]
+  std::unordered_map<i64, DirEntry> dir_;
+  MissClassifier classifier_;
+  u64 tick_ = 0;
+};
+
+/// Aggregate statistics for one simulated cache configuration.
+struct MissStats {
+  u64 refs = 0;
+  u64 hits = 0;
+  u64 cold = 0;
+  u64 replacement = 0;
+  u64 true_sharing = 0;
+  u64 false_sharing = 0;
+  u64 upgrades = 0;
+  u64 invalidations = 0;
+
+  u64 misses() const { return cold + replacement + true_sharing + false_sharing; }
+  u64 other_misses() const { return cold + replacement + true_sharing; }
+  double miss_rate() const {
+    return refs > 0 ? static_cast<double>(misses()) / static_cast<double>(refs)
+                    : 0.0;
+  }
+  double false_sharing_rate() const {
+    return refs > 0 ? static_cast<double>(false_sharing) /
+                          static_cast<double>(refs)
+                    : 0.0;
+  }
+  void add(const AccessOutcome& o);
+};
+
+/// TraceSink wrapper: feed references, read statistics — optionally
+/// attributed per data structure through an AddressMap.
+class CacheSim : public TraceSink {
+ public:
+  explicit CacheSim(const CacheParams& p, const AddressMap* attribution =
+                                              nullptr)
+      : cache_(p), attribution_(attribution) {}
+  void on_ref(const MemRef& ref) override {
+    AccessOutcome o =
+        cache_.access(ref.proc, ref.addr, ref.size,
+                      ref.type == RefType::kWrite);
+    stats_.add(o);
+    if (attribution_ != nullptr) {
+      int i = attribution_->index_of(ref.addr);
+      by_datum_[i >= 0 ? attribution_->name_of(i) : "<other>"].add(o);
+    }
+  }
+  const MissStats& stats() const { return stats_; }
+  const CacheParams& params() const { return cache_.params(); }
+  /// Per-datum stats (empty unless an AddressMap was supplied).
+  const std::map<std::string, MissStats>& by_datum() const {
+    return by_datum_;
+  }
+
+ private:
+  CoherentCache cache_;
+  const AddressMap* attribution_;
+  MissStats stats_;
+  std::map<std::string, MissStats> by_datum_;
+};
+
+}  // namespace fsopt

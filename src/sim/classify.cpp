@@ -1,0 +1,93 @@
+#include "sim/classify.h"
+
+namespace fsopt {
+
+const char* miss_kind_name(MissKind k) {
+  switch (k) {
+    case MissKind::kHit: return "hit";
+    case MissKind::kCold: return "cold";
+    case MissKind::kReplacement: return "replacement";
+    case MissKind::kTrueSharing: return "true-sharing";
+    case MissKind::kFalseSharing: return "false-sharing";
+  }
+  return "?";
+}
+
+MissClassifier::MissClassifier(i64 nprocs, i64 block_size, i64 total_bytes)
+    : nprocs_(nprocs),
+      block_size_(block_size),
+      words_((total_bytes + 3) / 4),
+      word_version_(static_cast<size_t>(words_), 0),
+      word_writer_(static_cast<size_t>(words_), 255),
+      snapshot_(static_cast<size_t>(nprocs)) {}
+
+MissKind MissClassifier::classify_miss(int proc, i64 addr, i64 size) const {
+  i64 block = block_of(addr);
+  const auto& snap = snapshot_[static_cast<size_t>(proc)];
+  auto it = snap.find(block);
+  if (it == snap.end()) return MissKind::kCold;
+  u64 s = it->second;
+
+  i64 w0 = block * block_size_ / 4;
+  i64 w1 = std::min(words_, w0 + block_size_ / 4);
+  bool any_remote = false;
+  for (i64 w = w0; w < w1; ++w) {
+    if (word_version_[static_cast<size_t>(w)] > s &&
+        word_writer_[static_cast<size_t>(w)] != proc) {
+      any_remote = true;
+      break;
+    }
+  }
+  if (!any_remote) return MissKind::kReplacement;
+
+  i64 r0 = addr / 4;
+  i64 r1 = (addr + size - 1) / 4;
+  for (i64 w = r0; w <= r1; ++w) {
+    if (w < 0 || w >= words_) continue;
+    if (word_version_[static_cast<size_t>(w)] > s &&
+        word_writer_[static_cast<size_t>(w)] != proc)
+      return MissKind::kTrueSharing;
+  }
+  return MissKind::kFalseSharing;
+}
+
+void MissClassifier::note_access(int proc, i64 addr, i64 size,
+                                 bool is_write) {
+  ++counter_;
+  snapshot_[static_cast<size_t>(proc)][block_of(addr)] = counter_;
+  i64 r0 = addr / 4;
+  i64 r1 = (addr + size - 1) / 4;
+  for (i64 w = r0; w <= r1; ++w) {
+    if (w < 0 || w >= words_) continue;
+    if (is_write) {
+      word_version_[static_cast<size_t>(w)] = counter_;
+      word_writer_[static_cast<size_t>(w)] = static_cast<u8>(proc);
+    }
+    if (word_tracking_)
+      word_seen_[static_cast<size_t>(proc)][static_cast<size_t>(w)] =
+          counter_;
+  }
+}
+
+void MissClassifier::enable_word_tracking() {
+  if (word_tracking_) return;
+  word_tracking_ = true;
+  word_seen_.assign(static_cast<size_t>(nprocs_),
+                    std::vector<u64>(static_cast<size_t>(words_), 0));
+}
+
+bool MissClassifier::words_valid(int proc, i64 addr, i64 size) const {
+  FSOPT_CHECK(word_tracking_, "word tracking not enabled");
+  i64 r0 = addr / 4;
+  i64 r1 = (addr + size - 1) / 4;
+  for (i64 w = r0; w <= r1; ++w) {
+    if (w < 0 || w >= words_) continue;
+    if (word_version_[static_cast<size_t>(w)] >
+            word_seen_[static_cast<size_t>(proc)][static_cast<size_t>(w)] &&
+        word_writer_[static_cast<size_t>(w)] != proc)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace fsopt

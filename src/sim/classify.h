@@ -1,0 +1,67 @@
+// Word-granularity miss classification.
+//
+// We follow the Torrellas/Dubois-style at-miss-time test (§4): on a
+// coherence miss by processor p, if the specific word(s) p references now
+// were written by another processor since p last accessed the block, the
+// miss is a *true sharing* miss (real communication); otherwise it is a
+// *false sharing* miss (only the block, not the data, was shared).  A miss
+// on a block p never touched is a cold miss; a re-miss with no intervening
+// remote write is a replacement (capacity/conflict) miss.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "support/common.h"
+
+namespace fsopt {
+
+enum class MissKind : u8 {
+  kHit,
+  kCold,
+  kReplacement,
+  kTrueSharing,
+  kFalseSharing,
+};
+
+const char* miss_kind_name(MissKind k);
+
+class MissClassifier {
+ public:
+  /// `total_bytes` bounds the simulated address space; `block_size` is the
+  /// coherence unit; `nprocs` the number of processors.
+  MissClassifier(i64 nprocs, i64 block_size, i64 total_bytes);
+
+  /// Classify a miss by `proc` on [addr, addr+size).  Must be called
+  /// *before* note_access for the same reference.
+  MissKind classify_miss(int proc, i64 addr, i64 size) const;
+
+  /// Record that `proc` accessed [addr, addr+size) (hit or miss); updates
+  /// the per-word write versions when `is_write`.
+  void note_access(int proc, i64 addr, i64 size, bool is_write);
+
+  /// Per-word visibility tracking, used by the word-invalidate hardware
+  /// ablation (valid bits per word rather than per block).
+  void enable_word_tracking();
+  /// True when every word of [addr, addr+size) is still valid for `proc`
+  /// (not remotely written since `proc` last saw it).
+  bool words_valid(int proc, i64 addr, i64 size) const;
+
+ private:
+  i64 block_of(i64 addr) const { return addr / block_size_; }
+
+  i64 nprocs_;
+  i64 block_size_;
+  i64 words_;
+  u64 counter_ = 0;
+  std::vector<u64> word_version_;
+  std::vector<u8> word_writer_;
+  // Per processor: last global-counter value at which the processor
+  // accessed each block (presence = ever accessed).
+  std::vector<std::unordered_map<i64, u64>> snapshot_;
+  // Per processor per word: version last observed (word tracking only).
+  bool word_tracking_ = false;
+  std::vector<std::vector<u64>> word_seen_;
+};
+
+}  // namespace fsopt

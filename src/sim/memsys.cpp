@@ -1,0 +1,5 @@
+#include "sim/memsys.h"
+
+// Interface translation unit (anchors vtables).
+
+namespace fsopt {}

@@ -1,0 +1,32 @@
+// Memory-system timing interface for the execution-driven interpreter.
+//
+// In trace mode a UniformMemory gives every reference the same cost and
+// timing does not matter; in KSR mode (sim/ksr.h) each reference goes
+// through a coherent cache and pays hit/miss/ring-contention latencies.
+#pragma once
+
+#include "support/common.h"
+
+namespace fsopt {
+
+class MemorySystem {
+ public:
+  virtual ~MemorySystem() = default;
+
+  /// Perform one reference by `proc` at local time `now`; returns its
+  /// latency in cycles.
+  virtual i64 access(int proc, i64 addr, i64 size, bool is_write,
+                     i64 now) = 0;
+};
+
+/// Every reference costs the same (trace-generation mode).
+class UniformMemory : public MemorySystem {
+ public:
+  explicit UniformMemory(i64 cycles = 2) : cycles_(cycles) {}
+  i64 access(int, i64, i64, bool, i64) override { return cycles_; }
+
+ private:
+  i64 cycles_;
+};
+
+}  // namespace fsopt

@@ -1,0 +1,41 @@
+// Common small utilities shared across the fsopt library.
+//
+// fsopt reproduces the compile-time false-sharing-reduction system of
+// Jeremiassen & Eggers (PPoPP'95).  See DESIGN.md for the system map.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fsopt {
+
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using u32 = std::uint32_t;
+using u8 = std::uint8_t;
+
+/// Internal-error exception: thrown on violated invariants inside the
+/// compiler/simulator (never for user-program diagnostics, which flow
+/// through DiagnosticEngine).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+#define FSOPT_CHECK(cond, msg)                                   \
+  do {                                                           \
+    if (!(cond)) throw ::fsopt::InternalError(std::string(msg)); \
+  } while (0)
+
+/// Round `v` up to the next multiple of `align` (align must be > 0).
+constexpr i64 round_up(i64 v, i64 align) {
+  return (v + align - 1) / align * align;
+}
+
+/// True iff `v` is a power of two (v > 0).
+constexpr bool is_pow2(i64 v) { return v > 0 && (v & (v - 1)) == 0; }
+
+}  // namespace fsopt

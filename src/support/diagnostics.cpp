@@ -1,0 +1,54 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace fsopt {
+
+std::string SourceLoc::str() const {
+  std::ostringstream os;
+  os << line << ":" << col;
+  return os.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  switch (severity) {
+    case DiagSeverity::kError:
+      os << "error";
+      break;
+    case DiagSeverity::kWarning:
+      os << "warning";
+      break;
+    case DiagSeverity::kNote:
+      os << "note";
+      break;
+  }
+  if (loc.valid()) os << " at " << loc.str();
+  os << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string msg) {
+  diags_.push_back({DiagSeverity::kError, loc, std::move(msg)});
+  ++error_count_;
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string msg) {
+  diags_.push_back({DiagSeverity::kWarning, loc, std::move(msg)});
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string msg) {
+  diags_.push_back({DiagSeverity::kNote, loc, std::move(msg)});
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.str() << "\n";
+  return os.str();
+}
+
+void DiagnosticEngine::throw_if_errors() const {
+  if (has_errors()) throw CompileError(render());
+}
+
+}  // namespace fsopt

@@ -1,0 +1,60 @@
+// Source locations and diagnostics for the PPL front end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace fsopt {
+
+/// A position in a PPL source buffer (1-based line/column).
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+  bool valid() const { return line > 0; }
+  std::string str() const;
+};
+
+enum class DiagSeverity { kError, kWarning, kNote };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  SourceLoc loc;
+  std::string message;
+  std::string str() const;
+};
+
+/// Thrown when compilation cannot proceed (after diagnostics were recorded).
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Collects diagnostics for one compilation.  Errors are recorded rather
+/// than thrown so that sema can report several problems at once; callers
+/// invoke `throw_if_errors()` at phase boundaries.
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string msg);
+  void warning(SourceLoc loc, std::string msg);
+  void note(SourceLoc loc, std::string msg);
+
+  bool has_errors() const { return error_count_ > 0; }
+  int error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// Render all diagnostics, one per line.
+  std::string render() const;
+
+  /// Throws CompileError (with all rendered diagnostics) if any error was
+  /// recorded.
+  void throw_if_errors() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int error_count_ = 0;
+};
+
+}  // namespace fsopt

@@ -1,0 +1,68 @@
+#include "support/stats.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace fsopt {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) {
+    FSOPT_CHECK(x > 0, "geomean requires positive inputs");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+std::string pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string fixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  FSOPT_CHECK(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> w(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
+  for (const auto& r : rows_)
+    for (size_t i = 0; i < r.size(); ++i) w[i] = std::max(w[i], r[i].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(w[i]) + 2) << cells[i];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::string rule;
+  for (size_t i = 0; i < headers_.size(); ++i)
+    rule += std::string(w[i], '-') + "  ";
+  os << rule << "\n";
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace fsopt

@@ -1,0 +1,37 @@
+// Small statistics and table-formatting helpers used by the benchmark
+// harness and the analysis reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace fsopt {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& xs);
+
+/// Geometric mean; 0 for empty input.  All inputs must be > 0.
+double geomean(const std::vector<double>& xs);
+
+/// Percentage formatting helper ("12.3%").
+std::string pct(double fraction, int decimals = 1);
+
+/// Fixed-point formatting helper.
+std::string fixed(double v, int decimals = 2);
+
+/// A minimal monospaced table writer for bench output: set column headers,
+/// add rows, render with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fsopt

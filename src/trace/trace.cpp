@@ -1,0 +1,5 @@
+#include "trace/trace.h"
+
+// Header-only types; this translation unit anchors the vtable.
+
+namespace fsopt {}

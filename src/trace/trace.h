@@ -1,0 +1,82 @@
+// Memory-reference traces.
+//
+// The interpreter stands in for the paper's software tracing tool
+// [EKKL90]: every shared-data reference a simulated process makes (data,
+// lock words, barrier state) is emitted as a MemRef to a TraceSink.  The
+// cache study attaches one simulator per block size to a fan-out sink and
+// measures all block sizes in a single execution.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "support/common.h"
+
+namespace fsopt {
+
+enum class RefType : u8 { kRead, kWrite };
+
+struct MemRef {
+  i64 addr = 0;
+  u8 size = 0;   // bytes: 4 or 8
+  u8 proc = 0;
+  RefType type = RefType::kRead;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_ref(const MemRef& ref) = 0;
+};
+
+/// Counts references (total and per type).
+class CountingSink : public TraceSink {
+ public:
+  void on_ref(const MemRef& ref) override {
+    ++total_;
+    if (ref.type == RefType::kWrite) ++writes_;
+  }
+  u64 total() const { return total_; }
+  u64 writes() const { return writes_; }
+  u64 reads() const { return total_ - writes_; }
+
+ private:
+  u64 total_ = 0;
+  u64 writes_ = 0;
+};
+
+/// Stores references (tests / small traces only).
+class VectorSink : public TraceSink {
+ public:
+  void on_ref(const MemRef& ref) override { refs_.push_back(ref); }
+  const std::vector<MemRef>& refs() const { return refs_; }
+
+ private:
+  std::vector<MemRef> refs_;
+};
+
+/// Fans out to several sinks (non-owning).
+class MultiSink : public TraceSink {
+ public:
+  void add(TraceSink* s) { sinks_.push_back(s); }
+  void on_ref(const MemRef& ref) override {
+    for (TraceSink* s : sinks_) s->on_ref(ref);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+/// Invokes a callback per reference.
+class CallbackSink : public TraceSink {
+ public:
+  explicit CallbackSink(std::function<void(const MemRef&)> fn)
+      : fn_(std::move(fn)) {}
+  void on_ref(const MemRef& ref) override { fn_(ref); }
+
+ private:
+  std::function<void(const MemRef&)> fn_;
+};
+
+}  // namespace fsopt

@@ -1,0 +1,76 @@
+// §3.3 transformation heuristics: given the sharing classification of each
+// datum, decide which of the four transformations (if any) to apply.
+#pragma once
+
+#include "analysis/report.h"
+
+namespace fsopt {
+
+enum class TransformKind : u8 {
+  kNone,
+  kGroupTranspose,
+  kIndirection,
+  kPadAlign,
+  kLockPad,
+};
+
+const char* transform_name(TransformKind k);
+
+/// How the per-process partitioning maps onto the pid dimension.
+enum class PartitionShape : u8 {
+  kBlocked,      // process p owns indices [p*C, (p+1)*C)
+  kInterleaved,  // process p owns indices ≡ p (mod NPROCS)
+};
+
+struct TransformDecision {
+  DatumKey datum;  // field = -1 for symbol-level decisions
+  TransformKind kind = TransformKind::kNone;
+  int pid_dim = -1;
+  PartitionShape shape = PartitionShape::kBlocked;
+  i64 chunk = 1;  // C for blocked partitionings
+  std::string reason;
+};
+
+struct DecisionOptions {
+  /// Write weight must exceed read weight by this factor before
+  /// transforming data whose reads are shared *with* locality (§3.3).
+  double write_dominance = 10.0;
+  /// Only data whose estimated access weight is at least this fraction of
+  /// the program total are considered (static profiling "pinpoints the
+  /// data structures most responsible", §3.1).  Busy data hidden deep in
+  /// loops with unknown bounds can be under-weighted and escape
+  /// transformation — the source of Maxflow's and Raytrace's residual
+  /// false sharing (§5).  Locks are exempt.
+  double min_weight_fraction = 0.015;
+  /// Coherence-unit size (bytes) the transformations target; set by the
+  /// driver from CompileOptions::block_size.
+  i64 block_size = 128;
+  /// "Judicious use of padding" (§3.2): pad & align is skipped when the
+  /// padded datum would exceed this many bytes, since the capacity and
+  /// conflict misses of a blown-up data set would outweigh the
+  /// false-sharing savings.  Locks are exempt (they are few).
+  i64 pad_footprint_limit = 64 * 1024;
+  /// Selective enables, used by the Table-2 attribution benchmark.
+  bool enable_group_transpose = true;
+  bool enable_indirection = true;
+  bool enable_pad_align = true;
+  bool enable_lock_pad = true;
+};
+
+struct TransformSet {
+  std::vector<TransformDecision> decisions;
+
+  const TransformDecision* find(const DatumKey& k) const;
+  /// Decision applying to an access to (sym, field): field-specific first,
+  /// then symbol-level.
+  const TransformDecision* applying_to(int sym, int field) const;
+  std::string render(const ProgramSummary& sum) const;
+};
+
+/// Apply the heuristics.  `summary` supplies per-datum record details for
+/// partition-shape detection.
+TransformSet decide_transforms(const SharingReport& report,
+                               const ProgramSummary& summary,
+                               const DecisionOptions& options = {});
+
+}  // namespace fsopt

@@ -1,0 +1,22 @@
+// Builds the transformed memory layout from a set of transformation
+// decisions: the concrete implementation of group & transpose,
+// indirection, pad & align and lock padding (§3.2).
+#pragma once
+
+#include "layout/layout.h"
+#include "transform/decision.h"
+
+namespace fsopt {
+
+struct PlanOptions {
+  /// Coherence-unit size the transformations pad/align to.  The KSR2's is
+  /// 128 bytes; the simulation study sweeps 4-256.
+  i64 block_size = 128;
+};
+
+/// Produce the transformed layout for `prog` under `transforms`.
+/// With an empty TransformSet this degenerates to identity_layout().
+LayoutPlan build_layout(const Program& prog, const TransformSet& transforms,
+                        const PlanOptions& opt = {});
+
+}  // namespace fsopt

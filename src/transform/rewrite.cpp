@@ -1,0 +1,111 @@
+#include "transform/rewrite.h"
+
+#include <sstream>
+
+#include "lang/printer.h"
+
+namespace fsopt {
+
+std::string rewrite_program(const Program& prog,
+                            const TransformSet& transforms, i64 block_size) {
+  std::ostringstream os;
+  os << "// fsopt restructured program (coherence block = " << block_size
+     << " bytes)\n";
+  os << "param NPROCS = " << prog.nprocs << ";\n\n";
+
+  for (const auto& st : prog.structs) {
+    os << "struct " << st->name << " {\n";
+    for (size_t fi = 0; fi < st->fields.size(); ++fi) {
+      const StructField& f = st->fields[fi];
+      // Find the symbol(s) of this struct type with a field decision.
+      const TransformDecision* d = nullptr;
+      for (const auto& g : prog.globals) {
+        if (g->elem.is_struct && g->elem.strct == st.get())
+          if (const TransformDecision* fd =
+                  transforms.find({g->id, static_cast<int>(fi)}))
+            d = fd;
+      }
+      if (d != nullptr && d->kind == TransformKind::kIndirection) {
+        os << "  " << scalar_name(f.kind) << " *" << f.name
+           << ";  // indirection: data moved to per-process heap\n";
+      } else if (d != nullptr && (d->kind == TransformKind::kPadAlign ||
+                                  d->kind == TransformKind::kLockPad)) {
+        os << "  " << scalar_name(f.kind) << " " << f.name;
+        if (f.array_len > 0) os << "[" << f.array_len << "]";
+        os << ";  // padded and aligned to " << block_size << " bytes\n";
+      } else {
+        os << "  " << scalar_name(f.kind) << " " << f.name;
+        if (f.array_len > 0) os << "[" << f.array_len << "]";
+        os << ";\n";
+      }
+    }
+    os << "};\n\n";
+  }
+
+  // Grouped record for group&transpose members.
+  std::vector<const GlobalSym*> grouped;
+  for (const auto& g : prog.globals) {
+    const TransformDecision* d = transforms.find({g->id, -1});
+    if (d != nullptr && d->kind == TransformKind::kGroupTranspose)
+      grouped.push_back(g.get());
+  }
+  if (!grouped.empty()) {
+    os << "// group & transpose: per-process data gathered into one record\n";
+    os << "struct _fsopt_group {\n";
+    for (const GlobalSym* g : grouped) {
+      const TransformDecision* d = transforms.find({g->id, -1});
+      os << "  " << g->elem.str() << " " << g->name;
+      i64 P = prog.nprocs;
+      for (size_t dim = 0; dim < g->dims.size(); ++dim) {
+        i64 ext = g->dims[dim];
+        if (static_cast<int>(dim) == d->pid_dim) {
+          i64 slots = d->shape == PartitionShape::kBlocked
+                          ? d->chunk
+                          : (ext + P - 1) / P;
+          if (slots > 1) os << "[" << slots << "]";
+        } else {
+          os << "[" << ext << "]";
+        }
+      }
+      os << ";  // was " << g->name;
+      for (i64 ext : g->dims) os << "[" << ext << "]";
+      os << ", pid dim " << d->pid_dim << "\n";
+    }
+    os << "};\n"
+       << "struct _fsopt_group _group[nprocs];"
+       << "  // one padded region per process\n\n";
+  }
+
+  for (const auto& g : prog.globals) {
+    const TransformDecision* d = transforms.find({g->id, -1});
+    if (d != nullptr && d->kind == TransformKind::kGroupTranspose)
+      continue;  // emitted inside the group record
+    os << g->elem.str() << " " << g->name;
+    for (i64 ext : g->dims) os << "[" << ext << "]";
+    os << ";";
+    if (d != nullptr && d->kind == TransformKind::kPadAlign)
+      os << "  // pad & align: each element in its own block";
+    if (d != nullptr && d->kind == TransformKind::kLockPad)
+      os << "  // lock: padded to one block";
+    os << "\n";
+  }
+  os << "\n";
+
+  for (const auto& fn : prog.funcs) {
+    os << value_type_name(fn->ret) << " " << fn->name << "(";
+    for (size_t i = 0; i < fn->params.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << scalar_name(fn->params[i]->kind) << " " << fn->params[i]->name;
+    }
+    os << ")";
+    if (fn->body) {
+      os << " " << print_stmt(*fn->body, 0);
+    } else {
+      os << ";\n";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fsopt

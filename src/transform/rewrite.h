@@ -1,0 +1,21 @@
+// Source-level rendering of the restructured program: what the
+// source-to-source restructurer emits for a transformed program.  Data
+// declarations are rewritten (grouped/transposed record arrays, padded
+// declarations, pointer fields for indirection); function bodies are
+// unchanged because every transformation is an addressing change applied
+// uniformly at all access sites.
+#pragma once
+
+#include <string>
+
+#include "layout/layout.h"
+#include "transform/decision.h"
+
+namespace fsopt {
+
+/// Render the transformed program as annotated PPL source.
+std::string rewrite_program(const Program& prog,
+                            const TransformSet& transforms,
+                            i64 block_size);
+
+}  // namespace fsopt

@@ -1,0 +1,178 @@
+// Maxflow (Carrasco 88): maximum flow in a directed graph, parallelized
+// with a central work queue of active nodes.
+//
+// Sharing structure per the paper (§5): busy write-shared scalars (queue
+// head/tail, global counters) are allocated adjacently and falsely share
+// blocks; the per-node excess/height arrays are write-shared through
+// dynamically scheduled node indices, with no processor or spatial
+// locality; striped node locks sit next to each other.  The compiler's
+// fix is pad & align (dominant) plus lock padding — no group&transpose or
+// indirection applies (Table 2).  The counters updated deep inside the
+// unbounded work loop are under-weighted by static profiling and stay
+// untransformed: the source of Maxflow's residual false sharing.
+// No programmer-optimized version existed (Table 1).
+#include "workloads/workloads.h"
+
+namespace fsopt::workloads {
+
+namespace {
+
+const char* kUnopt = R"PPL(
+param NPROCS = 8;
+param N = 240;          // graph nodes
+param E = 8;            // out-edges per node
+param ROUNDS = 6;       // global relabel rounds
+param NLOCK = 64;       // striped node locks
+param BATCH = 8;        // nodes dequeued per lock acquisition
+
+// Busy shared scalars: adjacently allocated (false sharing by layout).
+int qhead;
+int qtail;
+int work_done;          // counters deep in the work loop: static profiling
+int total_pushes;       // under-weights them -> left untransformed
+lock_t qlock;
+lock_t nlock[NLOCK];
+
+int qbuf[2 * N];
+int adj[N][E];          // neighbor ids (read-shared after init)
+real cap[N][E];         // capacities (read-shared after init)
+real flow[N][E];        // flow pushed along each edge
+real excess[N];         // write-shared via queue indices: no locality
+int height[N];          // write-shared via queue indices: no locality
+
+void init_node(int u, int seed) {
+  int e;
+  int r;
+  r = seed;
+  height[u] = 0;
+  excess[u] = itor(u % 5);
+  for (e = 0; e < E; e = e + 1) {
+    r = lcg(r);
+    adj[u][e] = (u + 7 + r % (N - 13)) % N;  // arbitrary graph neighbors
+    cap[u][e] = itor(1 + r % 7);
+    flow[u][e] = 0.0;
+  }
+}
+
+void process_node(int u, int pid) {
+  int e;
+  int k;
+  int v;
+  real room;
+  real delta;
+  real dist;
+  dist = 1.0;
+  for (e = 0; e < E; e = e + 1) {
+    v = adj[u][e];
+    room = cap[u][e] - flow[u][e];
+    // Residual-distance recomputation: the per-edge bookkeeping a real
+    // push-relabel solver performs on private state (gap heuristics,
+    // current-arc bookkeeping) — pure local computation.
+    for (k = 0; k < 10; k = k + 1) {
+      dist = dist * 0.5 + sqrt(room * room + 1.0);
+    }
+    if (room > 0.5) {
+      if (height[u] > height[v]) {
+        delta = min(room, dist * 0.001 + 1.0);
+        flow[u][e] = flow[u][e] + delta;
+        lock(nlock[v % NLOCK]);
+        excess[v] = excess[v] + delta;
+        unlock(nlock[v % NLOCK]);
+        lock(nlock[u % NLOCK]);
+        excess[u] = excess[u] - delta;
+        unlock(nlock[u % NLOCK]);
+        if (delta > 2.0) {
+          if (v % 2 == 0) {
+            if (v % 3 == 0) {
+              total_pushes = total_pushes + 1;
+            }
+          }
+        }
+      } else {
+        height[u] = height[v] + 1;
+      }
+    }
+  }
+}
+
+void main(int pid) {
+  int i;
+  int r;
+  int t;
+  int h2;
+  int j;
+  int u;
+  int go;
+  // Each process initializes an interleaved slice of the graph.
+  for (i = pid; i < N; i = i + nprocs) {
+    init_node(i, 17 * i + 3);
+  }
+  if (pid == 0) {
+    qhead = 0;
+    qtail = N;
+    for (i = 0; i < N; i = i + 1) {
+      qbuf[i] = (i * 17 + 5) % N;  // active nodes appear in scattered order
+    }
+    work_done = 0;
+    total_pushes = 0;
+  }
+  barrier();
+  for (r = 0; r < ROUNDS; r = r + 1) {
+    go = 1;
+    while (go) {
+      // Dequeue a batch of active nodes under one lock acquisition.
+      lock(qlock);
+      t = qhead;
+      h2 = t + BATCH;
+      if (qtail < h2) {
+        h2 = qtail;
+      }
+      qhead = h2;
+      unlock(qlock);
+      if (t < h2) {
+        for (j = t; j < h2; j = j + 1) {
+          u = qbuf[j % (2 * N)];
+          process_node(u, pid);
+          if (u % 3 == 0) {
+            if (u % 2 == 0) {
+              work_done = work_done + 1;
+            }
+          }
+        }
+      } else {
+        go = 0;
+      }
+    }
+    barrier();
+    if (pid == 0) {
+      // Rebuild the active queue for the next round.
+      qhead = 0;
+      qtail = 0;
+      for (i = 0; i < N; i = i + 1) {
+        if (excess[(i * 17 + 5) % N] > 0.5) {
+          qbuf[qtail % (2 * N)] = (i * 17 + 5) % N;
+          qtail = qtail + 1;
+        }
+      }
+    }
+    barrier();
+  }
+}
+)PPL";
+
+}  // namespace
+
+Workload make_maxflow() {
+  Workload w;
+  w.name = "maxflow";
+  w.description = "Maximum flow in a directed graph (810 lines of C)";
+  w.unopt = kUnopt;
+  w.natural = kUnopt;
+  w.prog = "";  // no programmer-optimized version existed (Table 1)
+  w.sim_overrides = {{"N", 240}, {"ROUNDS", 6}};
+  w.time_overrides = {{"N", 480}, {"ROUNDS", 6}};
+  w.fig3_procs = 12;
+  return w;
+}
+
+}  // namespace fsopt::workloads

@@ -1,0 +1,233 @@
+// Pthor (SPLASH): parallel distributed-time digital circuit simulator.
+//
+// Elements are evaluated from per-process activation lists; net value
+// changes activate fanout elements owned by other processes — inherent
+// communication that limits scaling for every version (Table 3: compiler
+// 2.8@4, programmer 2.2@4).  The natural source interleaves the
+// activation lists and per-process event counters, and embeds per-process
+// "last evaluated at" stamps in the element records; the compiler groups
+// the lists and moves the stamps behind indirection — the opportunities
+// the paper says the programmer missed in Pthor (G&T and pad & align).
+// The programmer version padded the element records instead.
+#include "workloads/workloads.h"
+
+namespace fsopt::workloads {
+
+namespace {
+
+const char* kNatural = R"PPL(
+param NPROCS = 8;
+param NELEM = 768;      // circuit elements
+param FANOUT = 3;
+param CYCLES = 8;       // simulated clock cycles
+param EVAL = 18;        // evaluation-work samples per element
+
+struct Elem {
+  int kind;
+  int out[FANOUT];      // fanout element ids
+  int val;
+  int stamp[NPROCS];    // per-process evaluation stamps (-> indirection)
+};
+
+struct Elem elems[NELEM];
+// Per-process activation machinery, interleaved.
+int act[96][NPROCS];    // activation lists: slot k of process p
+int act_n[NPROCS];
+int events[NPROCS];
+int sim_time;           // busy shared scalars, adjacent
+int deadlocks;
+lock_t tlock;
+
+real eval_elem(int e, int cyc) {
+  int k;
+  real a;
+  a = itor((e * 13 + cyc) % 23) * 0.1;
+  for (k = 0; k < EVAL; k = k + 1) {
+    a = a * 0.8 + sqrt(a * a + itor(k % 5)) * 0.1;
+  }
+  return a;
+}
+
+void main(int pid) {
+  int i;
+  int k;
+  int c;
+  int e;
+  int t;
+  int r;
+  int nv;
+  for (i = pid; i < NELEM; i = i + nprocs) {
+    r = lcg(i * 31 + 7);
+    elems[i].kind = r % 4;
+    for (k = 0; k < FANOUT; k = k + 1) {
+      r = lcg(r);
+      elems[i].out[k] = r % NELEM;
+    }
+    elems[i].val = r % 2;
+  }
+  for (i = 0; i < NELEM; i = i + 1) {
+    elems[i].stamp[pid] = 0;
+  }
+  act_n[pid] = 0;
+  events[pid] = 0;
+  if (pid == 0) {
+    sim_time = 0;
+    deadlocks = 0;
+  }
+  barrier();
+
+  for (c = 0; c < CYCLES; c = c + 1) {
+    // Activate this process's share of the elements for this cycle.
+    act_n[pid] = 0;
+    for (i = pid; i < NELEM; i = i + nprocs) {
+      if ((i + c) % 3 != 0) {
+        if (act_n[pid] < 96) {
+          act[act_n[pid]][pid] = i;
+          act_n[pid] = act_n[pid] + 1;
+        }
+      }
+    }
+    barrier();
+    // Evaluate the activation list.
+    for (t = 0; t < act_n[pid]; t = t + 1) {
+      e = act[t][pid];
+      nv = rtoi(eval_elem(e, c)) % 2;
+      elems[e].stamp[pid] = c + 1;
+      if (nv != elems[e].val) {
+        elems[e].val = nv;
+        // Propagate to fanout (reads of remote elements).
+        for (k = 0; k < FANOUT; k = k + 1) {
+          if (elems[elems[e].out[k]].kind == 0) {
+            events[pid] = events[pid] + 1;
+          }
+        }
+      }
+    }
+    barrier();
+    if (pid == 0) {
+      sim_time = sim_time + 1;
+      if (sim_time % 4 == 0) {
+        deadlocks = deadlocks + 1;
+      }
+    }
+    barrier();
+  }
+}
+)PPL";
+
+// Programmer version: element records padded by hand; activation lists
+// and stamps left interleaved/embedded (the missed G&T and pad
+// opportunities), busy scalars unpadded.
+const char* kProg = R"PPL(
+param NPROCS = 8;
+param NELEM = 768;
+param FANOUT = 3;
+param CYCLES = 8;
+param EVAL = 18;
+
+struct Elem {
+  int kind;
+  int out[FANOUT];
+  int val;
+  int stamp[NPROCS];
+  int pad[11];          // hand padding of the element records
+};
+
+struct Elem elems[NELEM];
+int act[96][NPROCS];
+int act_n[NPROCS];
+int events[NPROCS];
+int sim_time;
+int deadlocks;
+lock_t tlock;
+
+real eval_elem(int e, int cyc) {
+  int k;
+  real a;
+  a = itor((e * 13 + cyc) % 23) * 0.1;
+  for (k = 0; k < EVAL; k = k + 1) {
+    a = a * 0.8 + sqrt(a * a + itor(k % 5)) * 0.1;
+  }
+  return a;
+}
+
+void main(int pid) {
+  int i;
+  int k;
+  int c;
+  int e;
+  int t;
+  int r;
+  int nv;
+  for (i = pid; i < NELEM; i = i + nprocs) {
+    r = lcg(i * 31 + 7);
+    elems[i].kind = r % 4;
+    for (k = 0; k < FANOUT; k = k + 1) {
+      r = lcg(r);
+      elems[i].out[k] = r % NELEM;
+    }
+    elems[i].val = r % 2;
+  }
+  for (i = 0; i < NELEM; i = i + 1) {
+    elems[i].stamp[pid] = 0;
+  }
+  act_n[pid] = 0;
+  events[pid] = 0;
+  if (pid == 0) {
+    sim_time = 0;
+    deadlocks = 0;
+  }
+  barrier();
+
+  for (c = 0; c < CYCLES; c = c + 1) {
+    act_n[pid] = 0;
+    for (i = pid; i < NELEM; i = i + nprocs) {
+      if ((i + c) % 3 != 0) {
+        if (act_n[pid] < 96) {
+          act[act_n[pid]][pid] = i;
+          act_n[pid] = act_n[pid] + 1;
+        }
+      }
+    }
+    barrier();
+    for (t = 0; t < act_n[pid]; t = t + 1) {
+      e = act[t][pid];
+      nv = rtoi(eval_elem(e, c)) % 2;
+      elems[e].stamp[pid] = c + 1;
+      if (nv != elems[e].val) {
+        elems[e].val = nv;
+        for (k = 0; k < FANOUT; k = k + 1) {
+          if (elems[elems[e].out[k]].kind == 0) {
+            events[pid] = events[pid] + 1;
+          }
+        }
+      }
+    }
+    barrier();
+    if (pid == 0) {
+      sim_time = sim_time + 1;
+      if (sim_time % 4 == 0) {
+        deadlocks = deadlocks + 1;
+      }
+    }
+    barrier();
+  }
+}
+)PPL";
+
+}  // namespace
+
+Workload make_pthor() {
+  Workload w;
+  w.name = "pthor";
+  w.description = "Distributed-time circuit simulator (9420 lines of C)";
+  w.unopt = "";
+  w.natural = kNatural;
+  w.prog = kProg;
+  w.sim_overrides = {{"NELEM", 768}, {"CYCLES", 6}};
+  w.time_overrides = {{"NELEM", 768}, {"CYCLES", 8}};
+  w.fig3_procs = 12;
+  return w;
+}
+
+}  // namespace fsopt::workloads

@@ -1,0 +1,286 @@
+// Pverify (Ma et al., DAC'87): parallel logic verification.  Processes
+// traverse a shared gate graph, each verifying a different output cone,
+// and mark per-process visit state *embedded in the gate records* — the
+// situation where the data layout cannot simply be transposed (the
+// per-process data lives inside shared graph nodes) and **indirection**
+// is the right transformation (§3.2, Figure 2b).
+//
+// Per the paper: indirection removes 81.6% of Pverify's false-sharing
+// misses, group & transpose (on the per-process work stacks) 6.4%, lock
+// padding 3.1% (Table 2, total 91.2%).  Max speedup: unoptimized 2.5@16,
+// compiler 5.9@16, programmer 3.5@8 (Table 3) — the programmer padded the
+// gate records but missed the indirection and the stack grouping.
+#include "workloads/workloads.h"
+
+namespace fsopt::workloads {
+
+namespace {
+
+const char* kUnopt = R"PPL(
+param NPROCS = 8;
+param NG = 1024;        // gates
+param FAN = 3;          // fanins per gate
+param CONES = 48;       // output cones to verify (divided among processes)
+param STACKCAP = 64;    // per-process DFS stack slots
+
+struct Gate {
+  int kind;             // 0 = AND, 1 = OR, 2 = XOR
+  int fan[FAN];         // fanin gate ids
+  int val;              // current evaluation (rarely rewritten)
+  int visited[NPROCS];  // per-process visit marks: embedded per-process
+                        // data -> indirection target
+};
+
+struct Gate gates[NG];
+// Per-process DFS stacks: slot k of process p is stack[k][p], so stack
+// rows interleave all processes' slots (the "natural" declaration the
+// paper's unoptimized programs use).
+int stack[STACKCAP][NPROCS];
+int sp[NPROCS];         // per-process stack tops, interleaved
+int checked[NPROCS];    // per-process verified-gate counters
+int mism[NPROCS];       // per-process mismatch tallies, interleaved
+int mismatches;         // global result, guarded by a lock
+lock_t mlock;
+
+int eval_gate(int g) {
+  int k;
+  int v;
+  int a;
+  v = gates[g].kind % 2;
+  for (k = 0; k < FAN; k = k + 1) {
+    a = gates[gates[g].fan[k]].val;
+    if (gates[g].kind == 0) {
+      v = v * a;
+    } else {
+      if (gates[g].kind == 1) {
+        v = v + a - v * a;
+      } else {
+        v = (v + a) % 2;
+      }
+    }
+  }
+  return v;
+}
+
+void verify_cone(int root, int pid) {
+  int g;
+  int k;
+  int t;
+  int nv;
+  int pushed;
+  // Iterative DFS over the cone using this process's interleaved stack.
+  sp[pid] = 0;
+  stack[sp[pid]][pid] = root;
+  sp[pid] = 1;
+  while (sp[pid] > 0) {
+    sp[pid] = sp[pid] - 1;
+    g = stack[sp[pid]][pid];
+    if (gates[g].visited[pid] == 0) {
+      gates[g].visited[pid] = 1;
+      nv = eval_gate(g);
+      if (nv != gates[g].val) {
+        gates[g].val = nv;
+        mism[pid] = mism[pid] + 1;
+      }
+      checked[pid] = checked[pid] + 1;
+      pushed = 0;
+      for (k = 0; k < FAN; k = k + 1) {
+        t = gates[g].fan[k];
+        if (gates[t].visited[pid] == 0) {
+          if (sp[pid] < STACKCAP) {
+            stack[sp[pid]][pid] = t;
+            sp[pid] = sp[pid] + 1;
+            pushed = pushed + 1;
+          }
+        }
+      }
+    }
+  }
+}
+
+void main(int pid) {
+  int g;
+  int k;
+  int c;
+  int r;
+  // All processes build disjoint slices of the circuit.
+  for (g = pid; g < NG; g = g + nprocs) {
+    r = lcg(g * 23 + 7);
+    gates[g].kind = r % 3;
+    for (k = 0; k < FAN; k = k + 1) {
+      r = lcg(r);
+      // Fanins point strictly downward so cones are acyclic.
+      if (g == 0) {
+        gates[g].fan[k] = 0;
+      } else {
+        gates[g].fan[k] = r % g;
+      }
+    }
+    gates[g].val = r % 2;
+  }
+  // Each process clears its own visit-mark column.
+  for (g = 0; g < NG; g = g + 1) {
+    gates[g].visited[pid] = 0;
+  }
+  checked[pid] = 0;
+  mism[pid] = 0;
+  if (pid == 0) {
+    mismatches = 0;
+  }
+  barrier();
+  // The output cones are divided among the processes.
+  for (c = pid; c < CONES; c = c + nprocs) {
+    verify_cone(NG - 1 - (c * 113) % (NG / 2), pid);
+    // Clear this process's marks for the next cone.
+    for (g = 0; g < NG; g = g + 1) {
+      gates[g].visited[pid] = 0;
+    }
+  }
+  // Fold the per-process tallies into the global result.
+  lock(mlock);
+  mismatches = mismatches + mism[pid];
+  unlock(mlock);
+  barrier();
+}
+)PPL";
+
+// Programmer version: the visit marks were moved *out* of the gate
+// records into a separate table — the obvious hand fix — but the table is
+// still interleaved by process (visited[g][p]) and the DFS stacks remain
+// interleaved: per-process data still shares blocks.  (The paper: the
+// programmer missed indirection and group&transpose opportunities in
+// Pverify.)
+const char* kProg = R"PPL(
+param NPROCS = 8;
+param NG = 1024;
+param FAN = 3;
+param CONES = 48;
+param STACKCAP = 64;
+
+struct Gate {
+  int kind;
+  int fan[FAN];
+  int val;
+};
+
+struct Gate gates[NG];
+int visited[NPROCS][NG];  // transposed by hand: marks grouped per process
+int stack[STACKCAP][NPROCS];
+int sp[NPROCS];
+int checked[NPROCS];
+int mism[NPROCS];
+int mismatches;
+lock_t mlock;
+
+int eval_gate(int g) {
+  int k;
+  int v;
+  int a;
+  v = gates[g].kind % 2;
+  for (k = 0; k < FAN; k = k + 1) {
+    a = gates[gates[g].fan[k]].val;
+    if (gates[g].kind == 0) {
+      v = v * a;
+    } else {
+      if (gates[g].kind == 1) {
+        v = v + a - v * a;
+      } else {
+        v = (v + a) % 2;
+      }
+    }
+  }
+  return v;
+}
+
+void verify_cone(int root, int pid) {
+  int g;
+  int k;
+  int t;
+  int nv;
+  int pushed;
+  sp[pid] = 0;
+  stack[sp[pid]][pid] = root;
+  sp[pid] = 1;
+  while (sp[pid] > 0) {
+    sp[pid] = sp[pid] - 1;
+    g = stack[sp[pid]][pid];
+    if (visited[pid][g] == 0) {
+      visited[pid][g] = 1;
+      nv = eval_gate(g);
+      if (nv != gates[g].val) {
+        gates[g].val = nv;
+        mism[pid] = mism[pid] + 1;
+      }
+      checked[pid] = checked[pid] + 1;
+      pushed = 0;
+      for (k = 0; k < FAN; k = k + 1) {
+        t = gates[g].fan[k];
+        if (visited[pid][t] == 0) {
+          if (sp[pid] < STACKCAP) {
+            stack[sp[pid]][pid] = t;
+            sp[pid] = sp[pid] + 1;
+            pushed = pushed + 1;
+          }
+        }
+      }
+    }
+  }
+}
+
+void main(int pid) {
+  int g;
+  int k;
+  int c;
+  int r;
+  for (g = pid; g < NG; g = g + nprocs) {
+    r = lcg(g * 23 + 7);
+    gates[g].kind = r % 3;
+    for (k = 0; k < FAN; k = k + 1) {
+      r = lcg(r);
+      if (g == 0) {
+        gates[g].fan[k] = 0;
+      } else {
+        gates[g].fan[k] = r % g;
+      }
+    }
+    gates[g].val = r % 2;
+  }
+  // Each process clears its own visit-mark column.
+  for (g = 0; g < NG; g = g + 1) {
+    visited[pid][g] = 0;
+  }
+  checked[pid] = 0;
+  mism[pid] = 0;
+  if (pid == 0) {
+    mismatches = 0;
+  }
+  barrier();
+  for (c = pid; c < CONES; c = c + nprocs) {
+    verify_cone(NG - 1 - (c * 113) % (NG / 2), pid);
+    for (g = 0; g < NG; g = g + 1) {
+      visited[pid][g] = 0;
+    }
+  }
+  lock(mlock);
+  mismatches = mismatches + mism[pid];
+  unlock(mlock);
+  barrier();
+}
+)PPL";
+
+}  // namespace
+
+Workload make_pverify() {
+  Workload w;
+  w.name = "pverify";
+  w.description = "Parallel logic verification (2759 lines of C)";
+  w.unopt = kUnopt;
+  w.natural = kUnopt;
+  w.prog = kProg;
+  w.sim_overrides = {{"NG", 1024}, {"CONES", 36}};
+  w.time_overrides = {{"NG", 1024}, {"CONES", 48}};
+  w.fig3_procs = 12;
+  return w;
+}
+
+}  // namespace fsopt::workloads

@@ -1,0 +1,271 @@
+// Topopt (Devadas & Newton '87): topological optimization of multi-level
+// array logic by simulated annealing over column permutations.
+//
+// Per the paper: the programmers organized the data structures to match
+// the "natural" semantics of the algorithm, not the memory system; the
+// compiler removes 79.9% of the false-sharing misses — 61.3% by
+// group & transpose (the per-process gain/trial vectors are interleaved
+// element-by-element), 18.6% by indirection (per-process tags embedded in
+// the column records).  The residual false sharing lives in a work array
+// that is *dynamically partitioned in a revolving manner*: each phase,
+// process p owns rows [start_p, start_p + len) where start_p comes from a
+// shared table that rotates every phase — the static analysis cannot see
+// the partitioning (the bounds are loads), and the writes look spatially
+// local, so the array stays untransformed (§5).
+// Speedups (Table 3): unopt 9.2@44, compiler 10.3@28, programmer 10.2@28 —
+// all versions scale; the gap is modest.  Figure 3 runs Topopt on 9
+// processors.
+#include "workloads/workloads.h"
+
+namespace fsopt::workloads {
+
+namespace {
+
+const char* kUnopt = R"PPL(
+param NPROCS = 8;
+param NCOL = 576;       // logic-array columns
+param ROWS = 16;        // rows per column signature
+param PHASES = 6;       // annealing phases
+param TRIALS = 1152;    // total trial moves per phase (divided among processes)
+
+struct Col {
+  int perm;             // current column position
+  int sig;              // folded row signature
+  int tag[NPROCS];      // per-process trial marks (embedded -> indirection)
+};
+
+struct Col cols[NCOL];
+// Per-process gain and trial vectors, interleaved element-by-element:
+// slot of process p is gain[k][p] (the "natural" declaration).
+real gain[64][NPROCS];
+int trials[64][NPROCS];
+int accepted[NPROCS];
+// Revolving dynamically partitioned work array: each phase process p owns
+// rows [rotor[p], rotor[p] + NCOL/NPROCS); the table rotates by half a
+// partition every phase, so partition boundaries fall inside cache blocks.
+// (Sized with slack so the revolving windows never wrap.)
+int moved[2 * NCOL];
+int rotor[NPROCS];
+int best_cost;
+lock_t blk;
+
+real eval_move(int a, int b) {
+  int k;
+  real e;
+  e = 0.0;
+  // Cost of swapping columns a and b: private arithmetic over signatures.
+  for (k = 0; k < ROWS; k = k + 1) {
+    e = e + itor((cols[a].sig / (k + 1) + cols[b].sig / (k + 1)) % 7)
+        * 0.25 - 0.1;
+    e = e * 0.75 + sqrt(e * e + 1.0) * 0.125;
+  }
+  return e;
+}
+
+void main(int pid) {
+  int i;
+  int k;
+  int ph;
+  int t;
+  int a;
+  int b;
+  int r;
+  int s0;
+  int span;
+  real g;
+  // Build the column table (disjoint interleaved slices).
+  for (i = pid; i < NCOL; i = i + nprocs) {
+    r = lcg(i * 29 + 11);
+    cols[i].perm = i;
+    cols[i].sig = r % 4096;
+  }
+  for (i = 0; i < NCOL; i = i + 1) {
+    cols[i].tag[pid] = 0;
+  }
+  for (k = 0; k < 64; k = k + 1) {
+    gain[k][pid] = 0.0;
+    trials[k][pid] = 0;
+  }
+  accepted[pid] = 0;
+  if (pid == 0) {
+    best_cost = 1000000;
+    for (i = 0; i < 2 * NCOL; i = i + 1) {
+      moved[i] = 0;
+    }
+    for (k = 0; k < nprocs; k = k + 1) {
+      rotor[k] = (k * NCOL) / nprocs;
+    }
+  }
+  barrier();
+
+  for (ph = 0; ph < PHASES; ph = ph + 1) {
+    for (t = pid; t < TRIALS; t = t + nprocs) {
+      r = lcg(t * 7 + ph * 131 + 1);
+      a = r % NCOL;
+      r = lcg(r);
+      b = r % NCOL;
+      g = eval_move(a, b);
+      // Per-process trial bookkeeping: interleaved vectors + embedded tags.
+      k = t % 64;
+      gain[k][pid] = gain[k][pid] + g;
+      trials[k][pid] = trials[k][pid] + 1;
+      cols[a].tag[pid] = ph + 1;
+      cols[b].tag[pid] = ph + 1;
+      if (g < 0.0) {
+        // Accept: swap the permutation slots (racy swaps are tolerated by
+        // annealing).
+        k = cols[a].perm;
+        cols[a].perm = cols[b].perm;
+        cols[b].perm = k;
+        accepted[pid] = accepted[pid] + 1;
+      }
+    }
+    barrier();
+    // Revolving-partition sweep: bounds come from shared memory, so the
+    // partitioning is invisible to the static analysis.
+    s0 = rotor[pid];
+    span = NCOL / nprocs;
+    for (i = s0; i < s0 + span; i = i + 1) {
+      moved[i] = moved[i] + cols[i % NCOL].perm % 2;
+    }
+    barrier();
+    if (pid == 0) {
+      // Rotate the partitions for the next phase.
+      for (k = 0; k < nprocs; k = k + 1) {
+        rotor[k] = (rotor[k] + NCOL / nprocs / 2) % NCOL;
+      }
+
+      best_cost = best_cost - 1;
+    }
+    barrier();
+  }
+}
+)PPL";
+
+// Programmer version: the gain/trial vectors were transposed by hand and
+// the tags pulled out into a transposed table, but the revolving work
+// array is identical (nobody can fix what rotates) and the bookkeeping
+// lock stayed unpadded next to the busy scalar.
+const char* kProg = R"PPL(
+param NPROCS = 8;
+param NCOL = 576;
+param ROWS = 16;
+param PHASES = 6;
+param TRIALS = 1152;
+
+struct Col {
+  int perm;
+  int sig;
+};
+
+struct Col cols[NCOL];
+real gain[NPROCS][64];
+int trials[NPROCS][64];
+int tag[NPROCS][NCOL];
+int accepted[NPROCS];
+int moved[2 * NCOL];
+int rotor[NPROCS];
+int best_cost;
+lock_t blk;
+
+real eval_move(int a, int b) {
+  int k;
+  real e;
+  e = 0.0;
+  for (k = 0; k < ROWS; k = k + 1) {
+    e = e + itor((cols[a].sig / (k + 1) + cols[b].sig / (k + 1)) % 7)
+        * 0.25 - 0.1;
+    e = e * 0.75 + sqrt(e * e + 1.0) * 0.125;
+  }
+  return e;
+}
+
+void main(int pid) {
+  int i;
+  int k;
+  int ph;
+  int t;
+  int a;
+  int b;
+  int r;
+  int s0;
+  int span;
+  real g;
+  for (i = pid; i < NCOL; i = i + nprocs) {
+    r = lcg(i * 29 + 11);
+    cols[i].perm = i;
+    cols[i].sig = r % 4096;
+  }
+  for (i = 0; i < NCOL; i = i + 1) {
+    tag[pid][i] = 0;
+  }
+  for (k = 0; k < 64; k = k + 1) {
+    gain[pid][k] = 0.0;
+    trials[pid][k] = 0;
+  }
+  accepted[pid] = 0;
+  if (pid == 0) {
+    best_cost = 1000000;
+    for (i = 0; i < 2 * NCOL; i = i + 1) {
+      moved[i] = 0;
+    }
+    for (k = 0; k < nprocs; k = k + 1) {
+      rotor[k] = (k * NCOL) / nprocs;
+    }
+  }
+  barrier();
+
+  for (ph = 0; ph < PHASES; ph = ph + 1) {
+    for (t = pid; t < TRIALS; t = t + nprocs) {
+      r = lcg(t * 7 + ph * 131 + 1);
+      a = r % NCOL;
+      r = lcg(r);
+      b = r % NCOL;
+      g = eval_move(a, b);
+      k = t % 64;
+      gain[pid][k] = gain[pid][k] + g;
+      trials[pid][k] = trials[pid][k] + 1;
+      tag[pid][a] = ph + 1;
+      tag[pid][b] = ph + 1;
+      if (g < 0.0) {
+        k = cols[a].perm;
+        cols[a].perm = cols[b].perm;
+        cols[b].perm = k;
+        accepted[pid] = accepted[pid] + 1;
+      }
+    }
+    barrier();
+    s0 = rotor[pid];
+    span = NCOL / nprocs;
+    for (i = s0; i < s0 + span; i = i + 1) {
+      moved[i] = moved[i] + cols[i % NCOL].perm % 2;
+    }
+    barrier();
+    if (pid == 0) {
+      for (k = 0; k < nprocs; k = k + 1) {
+        rotor[k] = (rotor[k] + NCOL / nprocs / 2) % NCOL;
+      }
+
+      best_cost = best_cost - 1;
+    }
+    barrier();
+  }
+}
+)PPL";
+
+}  // namespace
+
+Workload make_topopt() {
+  Workload w;
+  w.name = "topopt";
+  w.description = "Topological optimization of array logic (2206 lines of C)";
+  w.unopt = kUnopt;
+  w.natural = kUnopt;
+  w.prog = kProg;
+  w.sim_overrides = {{"NCOL", 576}, {"PHASES", 5}};
+  w.time_overrides = {{"NCOL", 576}, {"PHASES", 6}};
+  w.fig3_procs = 9;
+  return w;
+}
+
+}  // namespace fsopt::workloads

@@ -1,0 +1,22 @@
+#include "workloads/workloads.h"
+
+#include "support/common.h"
+
+namespace fsopt::workloads {
+
+const std::vector<Workload>& all() {
+  static const std::vector<Workload> kAll = {
+      make_maxflow(),   make_pverify(), make_topopt(),     make_fmm(),
+      make_radiosity(), make_raytrace(), make_locusroute(), make_mp3d(),
+      make_pthor(),     make_water(),
+  };
+  return kAll;
+}
+
+const Workload& get(const std::string& name) {
+  for (const Workload& w : all())
+    if (w.name == name) return w;
+  throw InternalError("no such workload: " + name);
+}
+
+}  // namespace fsopt::workloads

@@ -1,0 +1,57 @@
+// The benchmark suite (Table 1), reproduced as PPL kernels.
+//
+// Each kernel preserves the *cross-processor sharing structure* the paper
+// attributes to the original program (see DESIGN.md §5): which data are
+// per-process vs. write-shared, how per-process data are interleaved in
+// memory, where locks sit, and which patterns the static analysis can and
+// cannot see.  Versions follow Table 1: (N)ot optimized source,
+// (C)ompiler = fsopt applied to N, (P)rogrammer-optimized source.  For
+// LocusRoute/Mp3d/Pthor/Water only C and P exist (the paper had no
+// unoptimized versions); we keep an internal "natural" source there as the
+// compiler's input, mirroring the paper's hand-undoing methodology.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace fsopt::workloads {
+
+struct Workload {
+  std::string name;
+  std::string description;
+  /// N version source; empty when the paper had no unoptimized version
+  /// (the compiler then starts from `natural`).
+  std::string unopt;
+  /// Source the compiler optimizes (equals unopt when present).
+  std::string natural;
+  /// P version source; empty when unavailable (Maxflow).
+  std::string prog;
+  /// Problem-size overrides for the trace-driven study (small).
+  ParamOverrides sim_overrides;
+  /// Problem-size overrides for the KSR timing study.
+  ParamOverrides time_overrides;
+  /// Processor count used in Figure 3 (12, except Topopt's 9).
+  i64 fig3_procs = 12;
+  /// True if this workload appears in Figure 3 / Table 2 (N + C exist).
+  bool has_unopt() const { return !unopt.empty(); }
+  bool has_prog() const { return !prog.empty(); }
+};
+
+const std::vector<Workload>& all();
+const Workload& get(const std::string& name);
+
+// Individual constructors (one translation unit per program).
+Workload make_maxflow();
+Workload make_pverify();
+Workload make_topopt();
+Workload make_fmm();
+Workload make_radiosity();
+Workload make_raytrace();
+Workload make_locusroute();
+Workload make_mp3d();
+Workload make_pthor();
+Workload make_water();
+
+}  // namespace fsopt::workloads

@@ -1,0 +1,170 @@
+#include "rsd/affine.h"
+
+#include <gtest/gtest.h>
+
+namespace fsopt {
+namespace {
+
+LocalSym* sym(const char* name) {
+  static std::vector<std::unique_ptr<LocalSym>> pool;
+  pool.push_back(std::make_unique<LocalSym>());
+  pool.back()->name = name;
+  return pool.back().get();
+}
+
+TEST(Affine, ConstantBasics) {
+  Affine a = Affine::constant(5);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(a.is_constant());
+  EXPECT_EQ(a.constant_value(), 5);
+}
+
+TEST(Affine, InvalidPropagates) {
+  Affine bad = Affine::invalid();
+  Affine a = Affine::constant(1);
+  EXPECT_FALSE((bad + a).valid());
+  EXPECT_FALSE((a - bad).valid());
+  EXPECT_FALSE((bad * a).valid());
+  EXPECT_FALSE(bad.negate().valid());
+}
+
+TEST(Affine, AdditionMergesTerms) {
+  LocalSym* x = sym("x");
+  Affine a = Affine::variable(x, 2, 1);   // 2x + 1
+  Affine b = Affine::variable(x, 3, -1);  // 3x - 1
+  Affine c = a + b;                       // 5x
+  EXPECT_EQ(c.coeff(x), 5);
+  EXPECT_EQ(c.const_term(), 0);
+}
+
+TEST(Affine, SubtractionCancelsToConstant) {
+  LocalSym* x = sym("x");
+  Affine a = Affine::variable(x, 2, 7);
+  Affine b = Affine::variable(x, 2, 3);
+  Affine c = a - b;
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.constant_value(), 4);
+}
+
+TEST(Affine, MultiplicationByConstant) {
+  LocalSym* x = sym("x");
+  Affine a = Affine::variable(x, 2, 3);
+  Affine c = a * Affine::constant(4);
+  EXPECT_EQ(c.coeff(x), 8);
+  EXPECT_EQ(c.const_term(), 12);
+}
+
+TEST(Affine, ProductOfTwoVariablesIsInvalid) {
+  LocalSym* x = sym("x");
+  LocalSym* y = sym("y");
+  Affine a = Affine::variable(x);
+  Affine b = Affine::variable(y);
+  EXPECT_FALSE((a * b).valid());
+}
+
+TEST(Affine, MultiplicationByZeroDropsTerms) {
+  LocalSym* x = sym("x");
+  Affine a = Affine::variable(x, 5, 2);
+  Affine c = a * Affine::constant(0);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.constant_value(), 0);
+}
+
+TEST(Affine, Substitution) {
+  LocalSym* x = sym("x");
+  LocalSym* y = sym("y");
+  // 3x + 2, x := 2y - 1  ->  6y - 1
+  Affine a = Affine::variable(x, 3, 2);
+  Affine r = a.subst(x, Affine::variable(y, 2, -1));
+  EXPECT_EQ(r.coeff(y), 6);
+  EXPECT_EQ(r.const_term(), -1);
+  EXPECT_EQ(r.coeff(x), 0);
+}
+
+TEST(Affine, SubstitutionWithInvalidPoisons) {
+  LocalSym* x = sym("x");
+  Affine a = Affine::variable(x, 3, 2);
+  EXPECT_FALSE(a.subst(x, Affine::invalid()).valid());
+  // ... but only if the variable actually occurs.
+  LocalSym* y = sym("y");
+  EXPECT_TRUE(a.subst(y, Affine::invalid()).valid());
+}
+
+TEST(Affine, EvalWith) {
+  LocalSym* x = sym("x");
+  Affine a = Affine::variable(x, 3, 2);
+  EXPECT_EQ(a.eval_with(x, 4), 14);
+  LocalSym* y = sym("y");
+  Affine b = a + Affine::variable(y);
+  EXPECT_FALSE(b.eval_with(x, 4).has_value());  // y unresolved
+}
+
+TEST(Affine, SoleVar) {
+  LocalSym* x = sym("x");
+  EXPECT_EQ(Affine::variable(x, 2, 9).sole_var(), x);
+  EXPECT_EQ(Affine::constant(1).sole_var(), nullptr);
+}
+
+TEST(AffineEnv, JoinAgreeingBindings) {
+  LocalSym* x = sym("x");
+  AffineEnv a;
+  AffineEnv b;
+  a.bind(x, Affine::constant(3));
+  b.bind(x, Affine::constant(3));
+  a.join(b);
+  EXPECT_EQ(a.value_of(x).constant_value(), 3);
+}
+
+TEST(AffineEnv, JoinDisagreeingBindingsInvalidates) {
+  LocalSym* x = sym("x");
+  AffineEnv a;
+  AffineEnv b;
+  a.bind(x, Affine::constant(3));
+  b.bind(x, Affine::constant(4));
+  a.join(b);
+  EXPECT_FALSE(a.value_of(x).valid());
+}
+
+TEST(AffineEnv, JoinOneSidedBindingInvalidates) {
+  LocalSym* x = sym("x");
+  AffineEnv a;
+  AffineEnv b;
+  a.bind(x, Affine::constant(3));
+  a.join(b);
+  EXPECT_FALSE(a.value_of(x).valid());
+
+  AffineEnv c;
+  AffineEnv d;
+  d.bind(x, Affine::constant(3));
+  c.join(d);
+  EXPECT_FALSE(c.value_of(x).valid());
+}
+
+TEST(AffineEnv, UnboundIsInvalid) {
+  AffineEnv env;
+  EXPECT_FALSE(env.value_of(sym("z")).valid());
+}
+
+// Property-style sweep: (a + b) evaluated == eval(a) + eval(b) for a grid
+// of coefficients.
+class AffineArithProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AffineArithProperty, AdditionHomomorphism) {
+  int k = GetParam();
+  LocalSym* x = sym("x");
+  Affine a = Affine::variable(x, k, k * 2 - 3);
+  Affine b = Affine::variable(x, 7 - k, -k);
+  for (i64 v : {-5, 0, 1, 13}) {
+    auto lhs = (a + b).eval_with(x, v);
+    ASSERT_TRUE(lhs.has_value());
+    EXPECT_EQ(*lhs, *a.eval_with(x, v) + *b.eval_with(x, v));
+    auto prod = (a * Affine::constant(k)).eval_with(x, v);
+    EXPECT_EQ(*prod, *a.eval_with(x, v) * k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Coefficients, AffineArithProperty,
+                         ::testing::Range(-3, 5));
+
+}  // namespace
+}  // namespace fsopt

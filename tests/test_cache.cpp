@@ -1,0 +1,234 @@
+#include "sim/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace fsopt {
+namespace {
+
+CacheParams params(i64 nprocs = 4, i64 block = 64, i64 cache = 4096,
+                   i64 total = 1 << 16) {
+  return {nprocs, cache, block, total};
+}
+
+TEST(Cache, FirstAccessIsColdMiss) {
+  CoherentCache c(params());
+  AccessOutcome o = c.access(0, 0, 4, false);
+  EXPECT_EQ(o.kind, MissKind::kCold);
+}
+
+TEST(Cache, SecondAccessHits) {
+  CoherentCache c(params());
+  c.access(0, 0, 4, false);
+  EXPECT_EQ(c.access(0, 4, 4, false).kind, MissKind::kHit);
+  EXPECT_EQ(c.access(0, 60, 4, false).kind, MissKind::kHit);  // same block
+}
+
+TEST(Cache, ColdPerProcessor) {
+  CoherentCache c(params());
+  c.access(0, 0, 4, false);
+  EXPECT_EQ(c.access(1, 0, 4, false).kind, MissKind::kCold);
+}
+
+TEST(Cache, WriteInvalidatesSharers) {
+  CoherentCache c(params());
+  c.access(0, 0, 4, false);
+  c.access(1, 0, 4, false);
+  AccessOutcome w = c.access(2, 0, 4, true);
+  EXPECT_EQ(w.invalidated, 2);
+}
+
+TEST(Cache, WriteHitOnSharedLineIsUpgrade) {
+  CoherentCache c(params());
+  c.access(0, 0, 4, false);
+  c.access(1, 0, 4, false);
+  AccessOutcome w = c.access(0, 0, 4, true);
+  EXPECT_EQ(w.kind, MissKind::kHit);
+  EXPECT_TRUE(w.upgrade);
+  EXPECT_EQ(w.invalidated, 1);
+}
+
+TEST(Cache, WriteHitOnModifiedLineIsSilent) {
+  CoherentCache c(params());
+  c.access(0, 0, 4, true);
+  AccessOutcome w = c.access(0, 0, 4, true);
+  EXPECT_EQ(w.kind, MissKind::kHit);
+  EXPECT_FALSE(w.upgrade);
+  EXPECT_EQ(w.invalidated, 0);
+}
+
+TEST(Cache, TrueSharingMiss) {
+  CoherentCache c(params());
+  c.access(0, 0, 4, false);   // P0 reads word 0
+  c.access(1, 0, 4, true);    // P1 writes word 0 -> invalidates P0
+  AccessOutcome o = c.access(0, 0, 4, false);  // P0 rereads word 0
+  EXPECT_EQ(o.kind, MissKind::kTrueSharing);
+  EXPECT_EQ(o.source_proc, 1);
+}
+
+TEST(Cache, FalseSharingMiss) {
+  CoherentCache c(params());
+  c.access(0, 0, 4, false);   // P0 reads word 0
+  c.access(1, 32, 4, true);   // P1 writes word 8 (same 64B block)
+  AccessOutcome o = c.access(0, 0, 4, false);  // P0 rereads word 0
+  EXPECT_EQ(o.kind, MissKind::kFalseSharing);
+}
+
+TEST(Cache, FalseThenTrueDependsOnWord) {
+  CoherentCache c(params());
+  c.access(0, 0, 4, false);
+  c.access(0, 32, 4, false);
+  c.access(1, 32, 4, true);
+  // Re-read of the written word: true sharing.
+  EXPECT_EQ(c.access(0, 32, 4, false).kind, MissKind::kTrueSharing);
+  // Invalidate again, re-read a different word: false sharing.
+  c.access(1, 32, 4, true);
+  EXPECT_EQ(c.access(0, 0, 4, false).kind, MissKind::kFalseSharing);
+}
+
+TEST(Cache, ReplacementMiss) {
+  // Direct-mapped 4096B cache with 64B blocks = 64 sets; block 0 and
+  // block 64 conflict.
+  CoherentCache c(params(1));
+  c.access(0, 0, 4, false);
+  c.access(0, 64 * 64, 4, false);  // evicts block 0
+  AccessOutcome o = c.access(0, 0, 4, false);
+  EXPECT_EQ(o.kind, MissKind::kReplacement);
+}
+
+TEST(Cache, ReadMissAfterRemoteWriteServedByOwner) {
+  CoherentCache c(params());
+  c.access(1, 0, 4, true);
+  AccessOutcome o = c.access(0, 0, 4, false);
+  EXPECT_EQ(o.source_proc, 1);
+  // The owner is downgraded: its next read hits, next write upgrades.
+  EXPECT_EQ(c.access(1, 0, 4, false).kind, MissKind::kHit);
+  AccessOutcome w = c.access(1, 0, 4, true);
+  EXPECT_TRUE(w.upgrade);
+}
+
+TEST(Cache, EightByteAccessOnTinyBlocksSplits) {
+  CacheParams p = params(2, /*block=*/4);
+  CoherentCache c(p);
+  AccessOutcome o = c.access(0, 0, 8, false);  // spans blocks 0 and 1
+  EXPECT_EQ(o.kind, MissKind::kCold);
+  EXPECT_EQ(c.access(0, 4, 4, false).kind, MissKind::kHit);
+}
+
+TEST(CacheSim, StatsAccumulate) {
+  CacheSim sim(params(2));
+  sim.on_ref({0, 4, 0, RefType::kRead});
+  sim.on_ref({0, 4, 0, RefType::kRead});
+  sim.on_ref({0, 4, 1, RefType::kWrite});
+  sim.on_ref({0, 4, 0, RefType::kRead});
+  const MissStats& s = sim.stats();
+  EXPECT_EQ(s.refs, 4u);
+  EXPECT_EQ(s.cold, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.true_sharing, 1u);
+  EXPECT_EQ(s.misses(), s.cold + s.true_sharing);
+  EXPECT_DOUBLE_EQ(s.miss_rate(), 0.75);
+}
+
+TEST(CacheSim, PerDatumAttribution) {
+  AddressMap am;
+  am.add(0, 64, "a");
+  am.add(64, 128, "b");
+  CacheSim sim(params(2), &am);
+  sim.on_ref({0, 4, 0, RefType::kRead});
+  sim.on_ref({80, 4, 0, RefType::kRead});
+  sim.on_ref({80, 4, 1, RefType::kWrite});
+  ASSERT_EQ(sim.by_datum().count("a"), 1u);
+  ASSERT_EQ(sim.by_datum().count("b"), 1u);
+  EXPECT_EQ(sim.by_datum().at("a").refs, 1u);
+  EXPECT_EQ(sim.by_datum().at("b").refs, 2u);
+}
+
+TEST(AddressMapTest, SmallestContainingRangeWins) {
+  AddressMap am;
+  am.add(0, 1000, "region");
+  am.add(100, 200, "member");
+  EXPECT_EQ(am.name_of(am.index_of(150)), "member");
+  EXPECT_EQ(am.name_of(am.index_of(50)), "region");
+  EXPECT_EQ(am.index_of(5000), -1);
+}
+
+TEST(Cache, AssociativityAvoidsConflicts) {
+  // 4096B, 64B blocks: direct-mapped has 64 sets; blocks 0 and 64
+  // conflict.  2-way keeps both.
+  CacheParams p = params(1);
+  p.associativity = 2;
+  CoherentCache c(p);
+  c.access(0, 0, 4, false);
+  c.access(0, 64 * 64, 4, false);
+  EXPECT_EQ(c.access(0, 0, 4, false).kind, MissKind::kHit);
+  EXPECT_EQ(c.access(0, 64 * 64, 4, false).kind, MissKind::kHit);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  CacheParams p = params(1);
+  p.associativity = 2;
+  CoherentCache c(p);
+  // Three conflicting blocks in a 2-way set.
+  c.access(0, 0, 4, false);          // block A
+  c.access(0, 64 * 64, 4, false);    // block B
+  c.access(0, 0, 4, false);          // touch A (B becomes LRU)
+  c.access(0, 2 * 64 * 64, 4, false);  // block C evicts B
+  EXPECT_EQ(c.access(0, 0, 4, false).kind, MissKind::kHit);          // A
+  EXPECT_EQ(c.access(0, 64 * 64, 4, false).kind, MissKind::kReplacement);
+}
+
+TEST(Cache, WordInvalidateEliminatesFalseSharing) {
+  CacheParams p = params(2);
+  p.word_invalidate = true;
+  CoherentCache c(p);
+  c.access(0, 0, 4, false);
+  c.access(1, 32, 4, true);  // remote write to a different word
+  // Block-invalidate hardware would make this a false-sharing miss;
+  // word-invalidate keeps the unwritten words valid.
+  EXPECT_EQ(c.access(0, 0, 4, false).kind, MissKind::kHit);
+  // The written word itself is invalid: true-sharing refetch.
+  EXPECT_EQ(c.access(0, 32, 4, false).kind, MissKind::kTrueSharing);
+}
+
+TEST(Cache, WordInvalidateStillCountsColdAndReplacement) {
+  CacheParams p = params(2);
+  p.word_invalidate = true;
+  CoherentCache c(p);
+  EXPECT_EQ(c.access(0, 0, 4, false).kind, MissKind::kCold);
+  EXPECT_EQ(c.access(0, 0, 4, false).kind, MissKind::kHit);
+}
+
+// Invariant sweep across block sizes: classified misses partition total
+// misses; hits + misses == refs.
+class CacheInvariants : public ::testing::TestWithParam<i64> {};
+
+TEST_P(CacheInvariants, CountsArePartition) {
+  i64 block = GetParam();
+  CacheSim sim(params(4, block, 2048, 1 << 14));
+  u64 s = 12345;
+  auto next = [&s]() {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 33;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    MemRef r;
+    r.proc = static_cast<u8>(next() % 4);
+    r.addr = static_cast<i64>(next() % ((1 << 14) - 8));
+    r.addr &= ~i64{3};
+    r.size = next() % 2 == 0 ? 4 : 8;
+    if (r.size == 8) r.addr &= ~i64{7};
+    r.type = next() % 3 == 0 ? RefType::kWrite : RefType::kRead;
+    sim.on_ref(r);
+  }
+  const MissStats& st = sim.stats();
+  EXPECT_EQ(st.refs, 20000u);
+  EXPECT_EQ(st.hits + st.misses(), st.refs);
+  EXPECT_EQ(st.misses(),
+            st.cold + st.replacement + st.true_sharing + st.false_sharing);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, CacheInvariants,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace fsopt

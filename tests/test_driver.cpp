@@ -1,0 +1,122 @@
+#include "driver/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+
+namespace fsopt {
+namespace {
+
+const char* kProgram =
+    "param NPROCS = 4; param N = 32;\n"
+    "real a[N]; lock_t l; int done;\n"
+    "void main(int pid) { int i; int r;\n"
+    "  for (r = 0; r < 5; r = r + 1) {\n"
+    "    for (i = pid; i < N; i = i + nprocs) { a[i] = a[i] + 1.0; }\n"
+    "    barrier();\n"
+    "  }\n"
+    "  lock(l); done = done + 1; unlock(l);\n"
+    "}\n";
+
+TEST(Driver, CompileProducesAllArtifacts) {
+  CompileOptions opt;
+  opt.optimize = true;
+  Compiled c = compile_source(kProgram, opt);
+  EXPECT_EQ(c.nprocs(), 4);
+  EXPECT_FALSE(c.summary.records.empty());
+  EXPECT_FALSE(c.report.data.empty());
+  EXPECT_FALSE(c.transforms.decisions.empty());
+  EXPECT_GT(c.layout.total_bytes(), 0);
+  EXPECT_FALSE(c.code.code.empty());
+}
+
+TEST(Driver, OverridesChangeSizes) {
+  CompileOptions opt;
+  opt.overrides = {{"N", 64}, {"NPROCS", 8}};
+  Compiled c = compile_source(kProgram, opt);
+  EXPECT_EQ(c.nprocs(), 8);
+  EXPECT_EQ(c.prog->find_global("a")->dims[0], 64);
+}
+
+TEST(Driver, AddressOfRoundTrips) {
+  Compiled c = compile_source(kProgram, {});
+  i64 a0 = c.address_of("a", "", {0});
+  i64 a1 = c.address_of("a", "", {1});
+  EXPECT_EQ(a1 - a0, 8);
+  EXPECT_EQ(c.scalar_kind_of("a", ""), ScalarKind::kReal);
+  EXPECT_EQ(c.scalar_kind_of("l", ""), ScalarKind::kLock);
+  EXPECT_THROW(c.address_of("missing", "", {}), InternalError);
+}
+
+TEST(Driver, InvalidProgramThrowsCompileError) {
+  EXPECT_THROW(compile_source("void main(int pid) { undeclared = 1; }", {}),
+               CompileError);
+}
+
+TEST(Driver, TraceStudyCountsConsistent) {
+  Compiled c = compile_source(kProgram, {});
+  auto st = run_trace_study(c, {16, 64, 128});
+  EXPECT_EQ(st.by_block.size(), 3u);
+  for (auto& [b, s] : st.by_block) {
+    EXPECT_EQ(s.refs, st.refs) << b;
+    EXPECT_EQ(s.hits + s.misses(), s.refs) << b;
+  }
+}
+
+TEST(Driver, KsrRunProducesTiming) {
+  Compiled c = compile_source(kProgram, {});
+  TimingResult t = run_ksr(c);
+  EXPECT_GT(t.cycles, 0);
+  EXPECT_GT(t.refs, 0u);
+  EXPECT_EQ(t.ksr.refs, t.refs);
+}
+
+TEST(Driver, SpeedupSweepBaselines) {
+  CompileOptions base;
+  i64 bl = baseline_cycles(kProgram, base);
+  EXPECT_GT(bl, 0);
+  SpeedupCurve curve = speedup_sweep(kProgram, {1, 2, 4}, base, bl);
+  ASSERT_EQ(curve.speedup.size(), 3u);
+  EXPECT_NEAR(curve.speedup[0], 1.0, 1e-9);
+  auto [peak, at] = curve.peak();
+  EXPECT_GE(peak, curve.speedup[0]);
+  EXPECT_TRUE(at == 1 || at == 2 || at == 4);
+}
+
+TEST(Driver, AddressMapCoversGlobalsAndBarrier) {
+  CompileOptions opt;
+  opt.optimize = true;
+  Compiled c = compile_source(kProgram, opt);
+  AddressMap am = build_address_map(c);
+  EXPECT_GE(am.ranges().size(), 4u);  // a, l, done, <barrier>
+  EXPECT_EQ(am.name_of(am.index_of(c.address_of("a", "", {5}))), "a");
+  EXPECT_EQ(am.name_of(am.index_of(c.code.barrier_base)), "<barrier>");
+}
+
+TEST(Driver, SameSourceCompilesDeterministically) {
+  CompileOptions opt;
+  opt.optimize = true;
+  Compiled a = compile_source(kProgram, opt);
+  Compiled b = compile_source(kProgram, opt);
+  EXPECT_EQ(a.layout.total_bytes(), b.layout.total_bytes());
+  EXPECT_EQ(a.code.code.size(), b.code.code.size());
+  EXPECT_EQ(a.transforms.decisions.size(), b.transforms.decisions.size());
+}
+
+TEST(Driver, BlockSizeAffectsTransformedLayoutOnly) {
+  CompileOptions small;
+  small.block_size = 32;
+  CompileOptions big;
+  big.block_size = 256;
+  Compiled a = compile_source(kProgram, small);
+  Compiled b = compile_source(kProgram, big);
+  // Unoptimized layouts are identical regardless of block size.
+  EXPECT_EQ(a.layout.total_bytes(), b.layout.total_bytes());
+  small.optimize = big.optimize = true;
+  Compiled ta = compile_source(kProgram, small);
+  Compiled tb = compile_source(kProgram, big);
+  EXPECT_LT(ta.layout.total_bytes(), tb.layout.total_bytes());
+}
+
+}  // namespace
+}  // namespace fsopt

@@ -1,0 +1,265 @@
+#include "layout/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "driver/compiler.h"
+#include "lang/sema.h"
+#include "transform/plan.h"
+
+namespace fsopt {
+namespace {
+
+std::unique_ptr<Program> check(std::string_view src, i64 nprocs = 4) {
+  DiagnosticEngine diags;
+  return parse_and_check(src, diags, {{"NPROCS", nprocs}});
+}
+
+TEST(Layout, IdentityAllocatesInDeclarationOrder) {
+  auto p = check(
+      "param NPROCS = 4; int a; real b; int c[4];"
+      "void main(int pid) { }");
+  LayoutPlan plan = identity_layout(*p);
+  i64 a = plan.base_of(*p->find_global("a"));
+  i64 b = plan.base_of(*p->find_global("b"));
+  i64 c = plan.base_of(*p->find_global("c"));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 8);  // aligned to 8
+  EXPECT_EQ(c, 16);
+  EXPECT_EQ(plan.total_bytes(), 32);
+}
+
+TEST(Layout, RowMajorStrides) {
+  auto s = row_major_strides({4, 8}, 4);
+  EXPECT_EQ(s, (std::vector<i64>{32, 4}));
+}
+
+TEST(Layout, DimMapLinearAndSplit) {
+  DimMap linear{1, 0, 8};
+  EXPECT_EQ(linear.apply(5), 40);
+  // Blocked: (x % 4) in-chunk (stride 8), x / 4 region (stride 100).
+  DimMap blocked{4, 8, 100};
+  EXPECT_EQ(blocked.apply(0), 0);
+  EXPECT_EQ(blocked.apply(3), 24);
+  EXPECT_EQ(blocked.apply(4), 100);
+  EXPECT_EQ(blocked.apply(7), 124);
+}
+
+TEST(Layout, ResolveFieldUsesNaturalOffsets) {
+  auto p = check(
+      "param NPROCS = 4; struct S { int a; real b; int v[3]; };"
+      "struct S g[8]; void main(int pid) { g[0].a = 1; }");
+  LayoutPlan plan = identity_layout(*p);
+  const GlobalSym* g = p->find_global("g");
+  ResolvedAccess a = plan.resolve(*g, g->elem.strct->field_index("b"));
+  EXPECT_EQ(a.const_off, 8);
+  ResolvedAccess v = plan.resolve(*g, g->elem.strct->field_index("v"));
+  EXPECT_EQ(v.const_off, 16);
+  ASSERT_EQ(v.dims.size(), 2u);  // array dim + field dim
+  EXPECT_EQ(v.dims[1].stride_hi, 4);
+}
+
+// Helper: every addressable element of every datum, with its address.
+std::map<i64, std::string> enumerate_addresses(const Compiled& c) {
+  std::map<i64, std::string> out;
+  for (const auto& g : c.prog->globals) {
+    std::vector<std::pair<int, i64>> fields;  // (field index, extra dim)
+    if (g->elem.is_struct) {
+      const StructType& st = *g->elem.strct;
+      for (size_t fi = 0; fi < st.fields.size(); ++fi)
+        fields.push_back({static_cast<int>(fi), st.fields[fi].array_len});
+    } else {
+      fields.push_back({-1, 0});
+    }
+    for (auto [fi, flen] : fields) {
+      ResolvedAccess ra = c.layout.resolve(*g, fi);
+      std::vector<i64> extents(g->dims.begin(), g->dims.end());
+      if (flen > 0) extents.push_back(flen);
+      i64 size = fi < 0 ? g->elem.byte_size()
+                        : scalar_size(g->elem.strct
+                                          ->fields[static_cast<size_t>(fi)]
+                                          .kind);
+      // Walk the whole index space of this datum.
+      std::vector<i64> idx(extents.size(), 0);
+      bool done = false;
+      while (!done) {
+        i64 addr = ra.base + ra.const_off;
+        for (size_t d = 0; d < idx.size(); ++d)
+          addr += ra.dims[d].apply(idx[d]);
+        std::string name = g->name + (fi >= 0 ? "." : "");
+        for (size_t d = 0; d < idx.size(); ++d)
+          name += "[" + std::to_string(idx[d]) + "]";
+        // Record every byte of the element.
+        for (i64 b = 0; b < size; ++b) {
+          auto [it, fresh] = out.insert({addr + b, name});
+          EXPECT_TRUE(fresh) << "address collision at " << addr + b << ": "
+                             << it->second << " vs " << name;
+        }
+        // Increment the index vector (odometer).
+        if (extents.empty()) break;
+        size_t d = idx.size();
+        for (;;) {
+          if (d == 0) {
+            done = true;
+            break;
+          }
+          --d;
+          if (++idx[d] < extents[d]) break;
+          idx[d] = 0;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+const char* kTransformHeavy =
+    "param NPROCS = 4;\n"
+    "struct S { int v[NPROCS]; int w; };\n"
+    "struct S g[8];\n"
+    "real a[32];\n"
+    "real b[8][NPROCS];\n"
+    "int busy1; int busy2;\n"
+    "lock_t l[4]; int q;\n"
+    "void main(int pid) { int i; int r;\n"
+    "  for (r = 0; r < 20; r = r + 1) {\n"
+    "    for (i = pid; i < 32; i = i + nprocs) { a[i] = a[i] + 1.0; }\n"
+    "    for (i = 0; i < 8; i = i + 1) {\n"
+    "      b[i][pid] = b[i][pid] + 1.0;\n"
+    "      g[(q + i) % 8].v[pid] = g[(q + i) % 8].v[pid] + 1;\n"
+    "    }\n"
+    "    lock(l[pid % 4]);\n"
+    "    busy1 = busy1 + 1; busy2 = busy2 - 1;\n"
+    "    unlock(l[pid % 4]);\n"
+    "  }\n"
+    "}\n";
+
+TEST(Layout, TransformedLayoutHasNoAddressCollisions) {
+  CompileOptions opt;
+  opt.overrides["NPROCS"] = 4;
+  opt.optimize = true;
+  Compiled c = compile_source(kTransformHeavy, opt);
+  // Sanity: transformations actually applied.
+  EXPECT_FALSE(c.transforms.decisions.empty());
+  auto addrs = enumerate_addresses(c);
+  EXPECT_FALSE(addrs.empty());
+  // All addresses within bounds.
+  for (const auto& [addr, name] : addrs) {
+    EXPECT_GE(addr, 0) << name;
+    EXPECT_LT(addr, c.layout.total_bytes()) << name;
+  }
+}
+
+TEST(Layout, UnoptimizedLayoutHasNoAddressCollisions) {
+  CompileOptions opt;
+  opt.overrides["NPROCS"] = 4;
+  Compiled c = compile_source(kTransformHeavy, opt);
+  auto addrs = enumerate_addresses(c);
+  EXPECT_FALSE(addrs.empty());
+}
+
+TEST(Layout, PaddedScalarsLandInDistinctBlocks) {
+  CompileOptions opt;
+  opt.overrides["NPROCS"] = 4;
+  opt.optimize = true;
+  opt.block_size = 128;
+  Compiled c = compile_source(kTransformHeavy, opt);
+  // busy1/busy2 are padded busy scalars; each in its own 128B block.
+  i64 a1 = c.address_of("busy1", "", {});
+  i64 a2 = c.address_of("busy2", "", {});
+  EXPECT_NE(a1 / 128, a2 / 128);
+  EXPECT_EQ(a1 % 128, 0);
+}
+
+TEST(Layout, PaddedLockElementsInDistinctBlocks) {
+  CompileOptions opt;
+  opt.overrides["NPROCS"] = 4;
+  opt.optimize = true;
+  Compiled c = compile_source(kTransformHeavy, opt);
+  std::set<i64> blocks;
+  for (i64 i = 0; i < 4; ++i)
+    blocks.insert(c.address_of("l", "", {i}) / 128);
+  EXPECT_EQ(blocks.size(), 4u);
+}
+
+TEST(Layout, GroupTransposeSeparatesProcessors) {
+  CompileOptions opt;
+  opt.overrides["NPROCS"] = 4;
+  opt.optimize = true;
+  Compiled c = compile_source(kTransformHeavy, opt);
+  // a[i] is interleaved-owned: i % 4 = owner.  After G&T, elements of
+  // different owners never share a 128-byte block...
+  std::set<std::pair<i64, i64>> block_owner;
+  for (i64 i = 0; i < 32; ++i) {
+    i64 block = c.address_of("a", "", {i}) / 128;
+    block_owner.insert({block, i % 4});
+  }
+  std::set<i64> seen;
+  for (auto& [block, owner] : block_owner)
+    EXPECT_TRUE(seen.insert(block).second)
+        << "block " << block << " holds data of several owners";
+  // ...and in the unoptimized layout they do share blocks.
+  CompileOptions un = opt;
+  un.optimize = false;
+  Compiled u = compile_source(kTransformHeavy, un);
+  std::set<i64> ublocks;
+  bool mixed = false;
+  for (i64 i = 0; i < 32; ++i) {
+    i64 block = u.address_of("a", "", {i}) / 128;
+    if (!ublocks.insert(block).second) mixed = true;
+  }
+  EXPECT_TRUE(mixed);
+}
+
+TEST(Layout, TransposedColumnsBecomeContiguous) {
+  CompileOptions opt;
+  opt.overrides["NPROCS"] = 4;
+  opt.optimize = true;
+  Compiled c = compile_source(kTransformHeavy, opt);
+  // b[i][pid]: after transpose, b[i][p] and b[i+1][p] are 8 bytes apart.
+  i64 d = c.address_of("b", "", {1, 2}) - c.address_of("b", "", {0, 2});
+  EXPECT_EQ(d, 8);
+  // Different processors' columns live in different blocks.
+  EXPECT_NE(c.address_of("b", "", {0, 0}) / 128,
+            c.address_of("b", "", {0, 1}) / 128);
+}
+
+TEST(Layout, IndirectionMovesFieldToHeapRegions) {
+  CompileOptions opt;
+  opt.overrides["NPROCS"] = 4;
+  opt.optimize = true;
+  Compiled c = compile_source(kTransformHeavy, opt);
+  // g.v must be transformed by indirection.
+  const GlobalSym* g = c.prog->find_global("g");
+  int vi = g->elem.strct->field_index("v");
+  const TransformDecision* d = c.transforms.applying_to(g->id, vi);
+  ASSERT_NE(d, nullptr);
+  ASSERT_EQ(d->kind, TransformKind::kIndirection);
+  // Same element, different process slots: different 128B regions.
+  i64 a0 = c.address_of("g", "v", {3, 0});
+  i64 a1 = c.address_of("g", "v", {3, 1});
+  EXPECT_NE(a0 / 128, a1 / 128);
+  // Same process, different elements: same region, 4 bytes apart.
+  i64 b0 = c.address_of("g", "v", {3, 2});
+  i64 b1 = c.address_of("g", "v", {4, 2});
+  EXPECT_EQ(b1 - b0, 4);
+  // The resolved plan carries the pointer-slot info.
+  ResolvedAccess ra = c.layout.resolve(*g, vi);
+  EXPECT_TRUE(ra.indirection.has_value());
+}
+
+TEST(Layout, BlockSizeParameterRespected) {
+  for (i64 bs : {32, 64, 256}) {
+    CompileOptions opt;
+    opt.overrides["NPROCS"] = 4;
+    opt.optimize = true;
+    opt.block_size = bs;
+    Compiled c = compile_source(kTransformHeavy, opt);
+    i64 a1 = c.address_of("busy1", "", {});
+    EXPECT_EQ(a1 % bs, 0) << "block " << bs;
+  }
+}
+
+}  // namespace
+}  // namespace fsopt

@@ -1,0 +1,138 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace fsopt {
+namespace {
+
+std::vector<Token> lex(std::string_view src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  auto toks = lexer.lex_all();
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return toks;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::kEof);
+}
+
+TEST(Lexer, IntegerLiteral) {
+  auto toks = lex("42");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::kIntLit);
+  EXPECT_EQ(toks[0].int_value, 42);
+}
+
+TEST(Lexer, RealLiteral) {
+  auto toks = lex("3.25");
+  EXPECT_EQ(toks[0].kind, Tok::kRealLit);
+  EXPECT_DOUBLE_EQ(toks[0].real_value, 3.25);
+}
+
+TEST(Lexer, RealLiteralWithExponent) {
+  auto toks = lex("1.5e2");
+  EXPECT_EQ(toks[0].kind, Tok::kRealLit);
+  EXPECT_DOUBLE_EQ(toks[0].real_value, 150.0);
+}
+
+TEST(Lexer, IntegerFollowedByDotMethodLikeIsNotReal) {
+  // `a.b` style: `1 .x` would be int then dot; but "1." without digit is
+  // int + dot.
+  auto toks = lex("1.x");
+  EXPECT_EQ(toks[0].kind, Tok::kIntLit);
+  EXPECT_EQ(toks[1].kind, Tok::kDot);
+  EXPECT_EQ(toks[2].kind, Tok::kIdent);
+}
+
+TEST(Lexer, Identifier) {
+  auto toks = lex("foo_bar2");
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "foo_bar2");
+}
+
+TEST(Lexer, Keywords) {
+  auto toks = lex("struct param int real lock_t void if else while for "
+                  "return barrier lock unlock nprocs");
+  std::vector<Tok> expected = {
+      Tok::kKwStruct, Tok::kKwParam,  Tok::kKwInt,    Tok::kKwReal,
+      Tok::kKwLockT,  Tok::kKwVoid,   Tok::kKwIf,     Tok::kKwElse,
+      Tok::kKwWhile,  Tok::kKwFor,    Tok::kKwReturn, Tok::kKwBarrier,
+      Tok::kKwLock,   Tok::kKwUnlock, Tok::kKwNprocs, Tok::kEof};
+  ASSERT_EQ(toks.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(toks[i].kind, expected[i]) << "token " << i;
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto toks = lex("== != <= >= && ||");
+  std::vector<Tok> expected = {Tok::kEq, Tok::kNe,     Tok::kLe,
+                               Tok::kGe, Tok::kAndAnd, Tok::kOrOr,
+                               Tok::kEof};
+  ASSERT_EQ(toks.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(toks[i].kind, expected[i]);
+}
+
+TEST(Lexer, SingleCharOperators) {
+  auto toks = lex("+ - * / % = < > ! ( ) [ ] { } , ; .");
+  EXPECT_EQ(toks[0].kind, Tok::kPlus);
+  EXPECT_EQ(toks[1].kind, Tok::kMinus);
+  EXPECT_EQ(toks[2].kind, Tok::kStar);
+  EXPECT_EQ(toks[3].kind, Tok::kSlash);
+  EXPECT_EQ(toks[4].kind, Tok::kPercent);
+  EXPECT_EQ(toks[5].kind, Tok::kAssign);
+  EXPECT_EQ(toks[6].kind, Tok::kLt);
+  EXPECT_EQ(toks[7].kind, Tok::kGt);
+  EXPECT_EQ(toks[8].kind, Tok::kNot);
+}
+
+TEST(Lexer, LineCommentsAreSkipped) {
+  auto toks = lex("a // comment with stuff ;;;\nb");
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].kind, Tok::kEof);
+}
+
+TEST(Lexer, BlockCommentsAreSkipped) {
+  auto toks = lex("a /* multi\nline\ncomment */ b");
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsAnError) {
+  DiagnosticEngine diags;
+  Lexer lexer("a /* never closed", diags);
+  lexer.lex_all();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, UnexpectedCharacterIsReportedAndSkipped) {
+  DiagnosticEngine diags;
+  Lexer lexer("a @ b", diags);
+  auto toks = lexer.lex_all();
+  EXPECT_TRUE(diags.has_errors());
+  // Both identifiers still lexed.
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[0].loc.col, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.col, 3);
+}
+
+TEST(Lexer, AmpersandAloneIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("a & b", diags);
+  lexer.lex_all();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace fsopt

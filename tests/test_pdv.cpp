@@ -1,0 +1,108 @@
+#include "analysis/pdv.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+
+namespace fsopt {
+namespace {
+
+struct Analyzed {
+  std::unique_ptr<Program> prog;
+  std::unique_ptr<CallGraph> cg;
+  PdvResult pdvs;
+};
+
+Analyzed analyze(std::string_view src) {
+  Analyzed out;
+  DiagnosticEngine diags;
+  out.prog = parse_and_check(src, diags, {});
+  out.cg = std::make_unique<CallGraph>(*out.prog);
+  out.pdvs = analyze_pdvs(*out.prog, *out.cg);
+  return out;
+}
+
+const LocalSym* local(const Program& p, const char* fn, const char* name) {
+  return p.find_func(fn)->find_local(name);
+}
+
+TEST(Pdv, PidItselfIsPdv) {
+  auto a = analyze("param NPROCS = 4; void main(int pid) { }");
+  ASSERT_NE(a.pdvs.pid, nullptr);
+  EXPECT_TRUE(a.pdvs.is_pdv(a.pdvs.pid));
+}
+
+TEST(Pdv, LocalDerivedFromPidIsPdv) {
+  auto a = analyze(
+      "param NPROCS = 4; void main(int pid) { int me; me = pid * 2 + 1; }");
+  EXPECT_TRUE(a.pdvs.is_pdv(local(*a.prog, "main", "me")));
+}
+
+TEST(Pdv, ReassignedLocalIsNotPdv) {
+  auto a = analyze(
+      "param NPROCS = 4; void main(int pid) {"
+      "  int me; me = pid; me = me + 1; }");
+  EXPECT_FALSE(a.pdvs.is_pdv(local(*a.prog, "main", "me")));
+}
+
+TEST(Pdv, ConstantLocalIsNotPdv) {
+  // Same value in every process: not process differentiating.
+  auto a = analyze(
+      "param NPROCS = 4; void main(int pid) { int k; k = 7; }");
+  EXPECT_FALSE(a.pdvs.is_pdv(local(*a.prog, "main", "k")));
+}
+
+TEST(Pdv, TransitivePdvChain) {
+  auto a = analyze(
+      "param NPROCS = 4; void main(int pid) {"
+      "  int a; int b; a = pid + 1; b = a * 3; }");
+  EXPECT_TRUE(a.pdvs.is_pdv(local(*a.prog, "main", "b")));
+}
+
+TEST(Pdv, FormalReceivingPidIsPdv) {
+  auto a = analyze(
+      "param NPROCS = 4; int x[8];"
+      "void work(int me) { x[me] = 1; }"
+      "void main(int pid) { work(pid); work(pid + 4); }");
+  EXPECT_TRUE(a.pdvs.is_pdv(local(*a.prog, "work", "me")));
+}
+
+TEST(Pdv, FormalWithMixedCallSitesIsNotPdv) {
+  auto a = analyze(
+      "param NPROCS = 4; int x[8];"
+      "void work(int me) { x[me] = 1; }"
+      "void main(int pid) { work(pid); work(0); }");
+  EXPECT_FALSE(a.pdvs.is_pdv(local(*a.prog, "work", "me")));
+}
+
+TEST(Pdv, FormalFromGlobalLoadIsNotPdv) {
+  auto a = analyze(
+      "param NPROCS = 4; int x[8]; int q;"
+      "void work(int me) { x[me] = 1; }"
+      "void main(int pid) { work(q); }");
+  EXPECT_FALSE(a.pdvs.is_pdv(local(*a.prog, "work", "me")));
+}
+
+TEST(Pdv, PdvThroughTwoCallLevels) {
+  auto a = analyze(
+      "param NPROCS = 4; int x[16];"
+      "void inner(int who) { x[who] = 1; }"
+      "void outer(int me) { inner(me * 2); }"
+      "void main(int pid) { outer(pid); }");
+  EXPECT_TRUE(a.pdvs.is_pdv(local(*a.prog, "inner", "who")));
+}
+
+TEST(Pdv, NoMainMeansNoPdvs) {
+  // Directly exercise the analysis on a program without main (bypassing
+  // sema, which would reject it).
+  DiagnosticEngine diags;
+  auto prog = Parser::parse("int f(int x) { return x; }", diags, {});
+  CallGraph cg(*prog);
+  PdvResult r = analyze_pdvs(*prog, cg);
+  EXPECT_EQ(r.pid, nullptr);
+  EXPECT_TRUE(r.pdvs.empty());
+}
+
+}  // namespace
+}  // namespace fsopt

@@ -1,0 +1,118 @@
+#include "analysis/phases.h"
+
+#include <gtest/gtest.h>
+
+#include "cfg/callgraph.h"
+#include "lang/sema.h"
+
+namespace fsopt {
+namespace {
+
+std::unique_ptr<Program> check(std::string_view src) {
+  DiagnosticEngine diags;
+  return parse_and_check(src, diags, {});
+}
+
+TEST(Phases, NoBarriersOnePhase) {
+  auto p = check("param NPROCS = 2; int x; void main(int pid) { x = 1; }");
+  PhaseInfo ph = analyze_phases(*p);
+  EXPECT_EQ(ph.phase_count, 1);
+  EXPECT_EQ(ph.phase_of(*p->main->body->stmts[0]), 0);
+}
+
+TEST(Phases, SequentialBarriers) {
+  auto p = check(
+      "param NPROCS = 2; int a; int b; int c;"
+      "void main(int pid) { a = 1; barrier(); b = 2; barrier(); c = 3; }");
+  PhaseInfo ph = analyze_phases(*p);
+  EXPECT_EQ(ph.phase_count, 3);
+  const auto& stmts = p->main->body->stmts;
+  EXPECT_EQ(ph.phase_of(*stmts[0]), 0);  // a = 1
+  EXPECT_EQ(ph.phase_of(*stmts[2]), 1);  // b = 2
+  EXPECT_EQ(ph.phase_of(*stmts[4]), 2);  // c = 3
+  // Sequential edges 0->1->2.
+  EXPECT_EQ(ph.edges.size(), 2u);
+}
+
+TEST(Phases, BarrierInLoopCreatesBackEdge) {
+  auto p = check(
+      "param NPROCS = 2; int a; int b;"
+      "void main(int pid) { int i;"
+      "  for (i = 0; i < 4; i = i + 1) { a = i; barrier(); b = i; } }");
+  PhaseInfo ph = analyze_phases(*p);
+  EXPECT_EQ(ph.phase_count, 2);
+  // One forward edge (0 -> 1) and one loop back edge (1 -> 0).
+  bool fwd = false;
+  bool back = false;
+  for (auto& [from, to] : ph.edges) {
+    if (from == 0 && to == 1) fwd = true;
+    if (from == 1 && to == 0) back = true;
+  }
+  EXPECT_TRUE(fwd);
+  EXPECT_TRUE(back);
+}
+
+TEST(Phases, StatementsBeforeAndAfterLoopBarrier) {
+  auto p = check(
+      "param NPROCS = 2; int a; int b;"
+      "void main(int pid) { int i;"
+      "  for (i = 0; i < 4; i = i + 1) { a = i; barrier(); b = i; } }");
+  PhaseInfo ph = analyze_phases(*p);
+  const Stmt* aw = nullptr;
+  const Stmt* bw = nullptr;
+  for_each_stmt(*p->main->body, [&](const Stmt& s) {
+    if (s.kind != StmtKind::kAssign || s.target->local != nullptr) return;
+    if (s.target->name == "a") aw = &s;
+    if (s.target->name == "b") bw = &s;
+  });
+  EXPECT_EQ(ph.phase_of(*aw), 0);
+  EXPECT_EQ(ph.phase_of(*bw), 1);
+}
+
+TEST(Phases, BarrierInsideIfIsFlaggedSuspicious) {
+  auto p = check(
+      "param NPROCS = 2;"
+      "void main(int pid) { if (pid == 0) { barrier(); } }");
+  PhaseInfo ph = analyze_phases(*p);
+  EXPECT_EQ(ph.suspicious_barriers.size(), 1u);
+}
+
+TEST(Phases, IfBranchesShareEntryPhase) {
+  auto p = check(
+      "param NPROCS = 2; int a; int b;"
+      "void main(int pid) {"
+      "  barrier();"
+      "  if (pid == 0) { a = 1; } else { b = 2; }"
+      "}");
+  PhaseInfo ph = analyze_phases(*p);
+  const Stmt* aw = nullptr;
+  const Stmt* bw = nullptr;
+  for_each_stmt(*p->main->body, [&](const Stmt& s) {
+    if (s.kind != StmtKind::kAssign) return;
+    if (s.target->name == "a") aw = &s;
+    if (s.target->name == "b") bw = &s;
+  });
+  EXPECT_EQ(ph.phase_of(*aw), 1);
+  EXPECT_EQ(ph.phase_of(*bw), 1);
+}
+
+TEST(Phases, TypicalSpmdShape) {
+  // init; barrier; loop { work; barrier; sequential-fixup; barrier }
+  auto p = check(
+      "param NPROCS = 4; int a[16]; int t;"
+      "void main(int pid) { int i; int r;"
+      "  a[pid] = 0;"
+      "  barrier();"
+      "  for (r = 0; r < 3; r = r + 1) {"
+      "    for (i = pid; i < 16; i = i + nprocs) { a[i] = a[i] + 1; }"
+      "    barrier();"
+      "    if (pid == 0) { t = t + 1; }"
+      "    barrier();"
+      "  }"
+      "}");
+  PhaseInfo ph = analyze_phases(*p);
+  EXPECT_EQ(ph.phase_count, 4);  // init | work | fixup | next-round(work)
+}
+
+}  // namespace
+}  // namespace fsopt

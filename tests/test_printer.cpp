@@ -1,0 +1,101 @@
+#include "lang/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/sema.h"
+
+namespace fsopt {
+namespace {
+
+std::unique_ptr<Program> check(std::string_view src) {
+  DiagnosticEngine diags;
+  return parse_and_check(src, diags, {});
+}
+
+TEST(Printer, RoundTripsSimpleProgram) {
+  const char* src =
+      "param NPROCS = 2;\n"
+      "int a[4];\n"
+      "void main(int pid) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 4; i = i + 1) {\n"
+      "    a[i] = i * 2 + pid;\n"
+      "  }\n"
+      "}\n";
+  auto p1 = check(src);
+  std::string printed = print_program(*p1);
+  // The printed program must itself be valid PPL with the same meaning.
+  auto p2 = check(printed);
+  EXPECT_EQ(print_program(*p2), print_program(*p1));
+}
+
+TEST(Printer, PreservesPrecedenceWithParens) {
+  auto p = check(
+      "param NPROCS = 1; int x;"
+      "void main(int pid) { x = (1 + 2) * 3; }");
+  std::string printed = print_program(*p);
+  EXPECT_NE(printed.find("(1 + 2) * 3"), std::string::npos) << printed;
+}
+
+TEST(Printer, DoesNotOverParenthesize) {
+  auto p = check(
+      "param NPROCS = 1; int x;"
+      "void main(int pid) { x = 1 + 2 * 3; }");
+  std::string printed = print_program(*p);
+  EXPECT_NE(printed.find("1 + 2 * 3"), std::string::npos) << printed;
+}
+
+TEST(Printer, RealLiteralsKeepDecimalPoint) {
+  auto p = check(
+      "param NPROCS = 1; real r;"
+      "void main(int pid) { r = 2.0; }");
+  std::string printed = print_program(*p);
+  EXPECT_NE(printed.find("2.0"), std::string::npos) << printed;
+}
+
+TEST(Printer, StructsAndLocksRendered) {
+  auto p = check(
+      "param NPROCS = 2; struct S { int a; real b[3]; };"
+      "struct S s[4]; lock_t l;"
+      "void main(int pid) { lock(l); s[0].a = 1; unlock(l); barrier(); }");
+  std::string printed = print_program(*p);
+  EXPECT_NE(printed.find("struct S {"), std::string::npos);
+  EXPECT_NE(printed.find("real b[3];"), std::string::npos);
+  EXPECT_NE(printed.find("lock(l);"), std::string::npos);
+  EXPECT_NE(printed.find("barrier();"), std::string::npos);
+  auto p2 = check(printed);
+  EXPECT_EQ(print_program(*p2), printed);
+}
+
+TEST(Printer, WhileAndIfElse) {
+  auto p = check(
+      "param NPROCS = 1; int x;"
+      "void main(int pid) {"
+      "  int i; i = 0;"
+      "  while (i < 3) { if (i == 1) { x = 1; } else { x = 2; } i = i + 1; }"
+      "}");
+  std::string printed = print_program(*p);
+  EXPECT_NE(printed.find("while (i < 3)"), std::string::npos);
+  EXPECT_NE(printed.find("else"), std::string::npos);
+  auto p2 = check(printed);
+  EXPECT_EQ(print_program(*p2), printed);
+}
+
+TEST(Printer, IntrinsicsAndCallsRoundTrip) {
+  const char* src =
+      "param NPROCS = 2; param N = 8;\n"
+      "real acc[N]; lock_t lk;\n"
+      "real f(real v) { return v * 0.5 + 1.0; }\n"
+      "void main(int pid) {\n"
+      "  int i;\n"
+      "  for (i = pid; i < N; i = i + nprocs) { acc[i] = f(itor(i)); }\n"
+      "  barrier();\n"
+      "  lock(lk); acc[0] = acc[0] + 1.0; unlock(lk);\n"
+      "}\n";
+  auto p = check(src);
+  auto p2 = check(print_program(*p));
+  EXPECT_EQ(print_program(*p2), print_program(*p));
+}
+
+}  // namespace
+}  // namespace fsopt

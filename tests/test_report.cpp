@@ -1,0 +1,150 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/sema.h"
+
+namespace fsopt {
+namespace {
+
+struct Ctx {
+  std::unique_ptr<Program> prog;
+  ProgramSummary summary;
+  SharingReport report;
+};
+
+Ctx classify(std::string_view src, i64 nprocs = 8) {
+  Ctx c;
+  DiagnosticEngine diags;
+  c.prog = parse_and_check(src, diags, {{"NPROCS", nprocs}});
+  c.summary = analyze_program(*c.prog);
+  c.report = classify_sharing(c.summary);
+  return c;
+}
+
+const DatumClass& datum(const Ctx& c, const char* name) {
+  for (const auto& d : c.report.data)
+    if (d.name == name) return d;
+  ADD_FAILURE() << "no datum " << name;
+  static DatumClass dummy;
+  return dummy;
+}
+
+TEST(Report, InterleavedWritesArePerProcess) {
+  Ctx c = classify(
+      "param NPROCS = 8; real a[64];"
+      "void main(int pid) { int i;"
+      "  for (i = pid; i < 64; i = i + nprocs) { a[i] = 0.0; } }");
+  const DatumClass& d = datum(c, "a");
+  EXPECT_EQ(d.writes, Pattern::kPerProcess);
+  EXPECT_EQ(d.pid_dim, 0);
+  EXPECT_EQ(d.writer_count, 8);
+}
+
+TEST(Report, TransposedColumnIsPerProcessOnDim1) {
+  Ctx c = classify(
+      "param NPROCS = 8; real a[32][NPROCS];"
+      "void main(int pid) { int i;"
+      "  for (i = 0; i < 32; i = i + 1) { a[i][pid] = 0.0; } }");
+  const DatumClass& d = datum(c, "a");
+  EXPECT_EQ(d.writes, Pattern::kPerProcess);
+  EXPECT_EQ(d.pid_dim, 1);
+}
+
+TEST(Report, DynamicIndexWritesAreShared) {
+  Ctx c = classify(
+      "param NPROCS = 8; real a[64]; int q;"
+      "void main(int pid) { a[q] = 0.0; a[q + pid] = 1.0; }");
+  const DatumClass& d = datum(c, "a");
+  EXPECT_EQ(d.writes, Pattern::kSharedNonLocal);
+}
+
+TEST(Report, UnitStrideSweepIsSharedLocal) {
+  Ctx c = classify(
+      "param NPROCS = 8; real a[64]; int q;"
+      "void main(int pid) { int i; int s0; s0 = q;"
+      "  for (i = s0; i < s0 + 16; i = i + 1) { a[i] = 0.0; } }");
+  const DatumClass& d = datum(c, "a");
+  EXPECT_EQ(d.writes, Pattern::kSharedLocal);
+}
+
+TEST(Report, SingleWriterIsPerProcess) {
+  Ctx c = classify(
+      "param NPROCS = 8; int x;"
+      "void main(int pid) { if (pid == 0) { x = 1; } }");
+  const DatumClass& d = datum(c, "x");
+  EXPECT_EQ(d.writes, Pattern::kPerProcess);
+  EXPECT_EQ(d.writer_count, 1);
+}
+
+TEST(Report, ScalarWrittenByAllIsShared) {
+  Ctx c = classify(
+      "param NPROCS = 8; int x;"
+      "void main(int pid) { x = pid; }");
+  const DatumClass& d = datum(c, "x");
+  EXPECT_EQ(d.writes, Pattern::kSharedNonLocal);
+  EXPECT_EQ(d.writer_count, 8);
+}
+
+TEST(Report, EmbeddedPerProcessFieldDim) {
+  Ctx c = classify(
+      "param NPROCS = 8; struct S { int v[NPROCS]; int w; };"
+      "struct S g[16]; int q;"
+      "void main(int pid) { g[q].v[pid] = 1; }");
+  const DatumClass& d = datum(c, "g.v");
+  EXPECT_EQ(d.writes, Pattern::kPerProcess);
+  EXPECT_EQ(d.pid_dim, 1);
+  EXPECT_TRUE(d.pid_dim_is_field_dim);
+}
+
+TEST(Report, LocksReportedWithWeight) {
+  Ctx c = classify(
+      "param NPROCS = 8; lock_t l; int x;"
+      "void main(int pid) { lock(l); x = x + 1; unlock(l); }");
+  const DatumClass& d = datum(c, "l");
+  EXPECT_TRUE(d.is_lock);
+  EXPECT_GT(d.lock_weight, 0.0);
+}
+
+TEST(Report, DominantPhaseHidesInitWrites) {
+  // Writes only at init; the hot phase only reads: dominant-phase
+  // classification must report writes = none.
+  Ctx c = classify(
+      "param NPROCS = 8; real a[64]; real acc[NPROCS];"
+      "void main(int pid) { int i; int r;"
+      "  for (i = pid; i < 64; i = i + nprocs) { a[i] = itor(i); }"
+      "  barrier();"
+      "  for (r = 0; r < 50; r = r + 1) {"
+      "    for (i = 0; i < 64; i = i + 1) {"
+      "      acc[pid] = acc[pid] + a[i];"
+      "    }"
+      "  }"
+      "}");
+  const DatumClass& d = datum(c, "a");
+  EXPECT_EQ(d.dominant_phase, 1);
+  EXPECT_EQ(d.writes, Pattern::kNone);
+  EXPECT_EQ(d.reads, Pattern::kSharedLocal);
+}
+
+TEST(Report, ReaderWriterCounts) {
+  Ctx c = classify(
+      "param NPROCS = 8; int a[8]; int b;"
+      "void main(int pid) {"
+      "  if (pid < 2) { a[pid] = 1; }"
+      "  if (pid >= 4) { b = a[0]; } }");
+  const DatumClass& d = datum(c, "a");
+  EXPECT_EQ(d.writer_count, 2);
+  EXPECT_EQ(d.reader_count, 4);
+}
+
+TEST(Report, RenderMentionsEveryDatum) {
+  Ctx c = classify(
+      "param NPROCS = 8; int a[8]; lock_t l;"
+      "void main(int pid) { lock(l); a[pid] = 1; unlock(l); }");
+  std::string s = c.report.render();
+  EXPECT_NE(s.find("a:"), std::string::npos);
+  EXPECT_NE(s.find("l:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsopt

@@ -1,0 +1,70 @@
+#include "transform/rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+
+namespace fsopt {
+namespace {
+
+Compiled build(std::string_view src) {
+  CompileOptions opt;
+  opt.overrides["NPROCS"] = 4;
+  opt.optimize = true;
+  return compile_source(src, opt);
+}
+
+const char* kSource =
+    "param NPROCS = 4;\n"
+    "struct S { int v[NPROCS]; int w; };\n"
+    "struct S g[16];\n"
+    "real a[32];\n"
+    "lock_t l; int q;\n"
+    "void main(int pid) { int i; int r;\n"
+    "  for (r = 0; r < 20; r = r + 1) {\n"
+    "    for (i = pid; i < 32; i = i + nprocs) { a[i] = a[i] + 1.0; }\n"
+    "    for (i = 0; i < 16; i = i + 1) {\n"
+    "      g[(q + i) % 16].v[pid] = g[(q + i) % 16].v[pid] + 1;\n"
+    "    }\n"
+    "    lock(l); q = q + 1; unlock(l);\n"
+    "  }\n"
+    "}\n";
+
+TEST(Rewrite, EmitsGroupRecordForTransposedArrays) {
+  Compiled c = build(kSource);
+  std::string out = rewrite_program(*c.prog, c.transforms, 128);
+  EXPECT_NE(out.find("_fsopt_group"), std::string::npos) << out;
+  EXPECT_NE(out.find("one padded region per process"), std::string::npos);
+}
+
+TEST(Rewrite, EmitsPointerFieldForIndirection) {
+  Compiled c = build(kSource);
+  std::string out = rewrite_program(*c.prog, c.transforms, 128);
+  EXPECT_NE(out.find("*v"), std::string::npos) << out;
+  EXPECT_NE(out.find("per-process heap"), std::string::npos);
+}
+
+TEST(Rewrite, AnnotatesPaddedLocks) {
+  Compiled c = build(kSource);
+  std::string out = rewrite_program(*c.prog, c.transforms, 128);
+  EXPECT_NE(out.find("lock: padded to one block"), std::string::npos) << out;
+}
+
+TEST(Rewrite, KeepsFunctionBodies) {
+  Compiled c = build(kSource);
+  std::string out = rewrite_program(*c.prog, c.transforms, 128);
+  EXPECT_NE(out.find("void main(int pid)"), std::string::npos);
+  EXPECT_NE(out.find("lock(l);"), std::string::npos);
+}
+
+TEST(Rewrite, UntransformedProgramPrintsPlainDeclarations) {
+  CompileOptions opt;
+  opt.overrides["NPROCS"] = 4;
+  Compiled c = compile_source(kSource, opt);  // no optimize
+  std::string out = rewrite_program(*c.prog, c.transforms, 128);
+  EXPECT_EQ(out.find("_fsopt_group"), std::string::npos);
+  EXPECT_NE(out.find("real a[32];"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsopt

@@ -1,0 +1,227 @@
+#include "rsd/rsd.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fsopt {
+namespace {
+
+LocalSym* sym(const char* name) {
+  static std::vector<std::unique_ptr<LocalSym>> pool;
+  pool.push_back(std::make_unique<LocalSym>());
+  pool.back()->name = name;
+  return pool.back().get();
+}
+
+// ---------------------------------------------------------------------------
+// ranges_intersect: stride-aware arithmetic-progression intersection.
+// ---------------------------------------------------------------------------
+
+TEST(Ranges, DisjointIntervals) {
+  EXPECT_FALSE(ranges_intersect({0, 9, 1}, {10, 19, 1}));
+  EXPECT_TRUE(ranges_intersect({0, 10, 1}, {10, 19, 1}));
+}
+
+TEST(Ranges, EvenOddInterleaveDisjoint) {
+  // {0,2,4,...} vs {1,3,5,...}: same stride, different phase.
+  EXPECT_FALSE(ranges_intersect({0, 100, 2}, {1, 101, 2}));
+  EXPECT_TRUE(ranges_intersect({0, 100, 2}, {2, 102, 2}));
+}
+
+TEST(Ranges, ModPInterleaves) {
+  // pid p owns {p, p+P, ...}: disjoint for p != q.
+  const i64 P = 12;
+  for (i64 p = 0; p < P; ++p) {
+    for (i64 q = 0; q < P; ++q) {
+      EXPECT_EQ(ranges_intersect({p, 479, P}, {q, 479, P}), p == q)
+          << p << " vs " << q;
+    }
+  }
+}
+
+TEST(Ranges, DifferentStridesCrt) {
+  // {0,3,6,...} and {1,5,9,...}: 3i = 4j+1 -> i=3, x=9? 9=4*2+1 yes.
+  EXPECT_TRUE(ranges_intersect({0, 30, 3}, {1, 30, 4}));
+  // {0,6,12,...} and {3,9,15,...}: 6i ≡ 3 (mod 6)? no.
+  EXPECT_FALSE(ranges_intersect({0, 60, 6}, {3, 63, 6}));
+}
+
+TEST(Ranges, CrtSolutionOutsideWindow) {
+  // Progressions would meet, but not within the bounds.
+  // {0,7,14,...,21} and {5,16,27}: meet at 26? 26 not in b... compute:
+  // a: 0,7,14,21; b: 5,16,27 -> no common element.
+  EXPECT_FALSE(ranges_intersect({0, 21, 7}, {5, 27, 11}));
+}
+
+TEST(Ranges, EmptyRangeNeverIntersects) {
+  EXPECT_FALSE(ranges_intersect({5, 4, 1}, {0, 100, 1}));
+}
+
+TEST(Ranges, SingletonRanges) {
+  EXPECT_TRUE(ranges_intersect({7, 7, 1}, {7, 7, 3}));
+  EXPECT_FALSE(ranges_intersect({7, 7, 1}, {8, 8, 1}));
+}
+
+// Exhaustive property check against a brute-force set intersection.
+class RangeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeProperty, MatchesBruteForce) {
+  int seed = GetParam();
+  // Deterministic pseudo-random cases derived from the seed.
+  u64 s = static_cast<u64>(seed) * 2654435761u + 12345;
+  auto next = [&s]() {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<i64>(s >> 33);
+  };
+  for (int iter = 0; iter < 50; ++iter) {
+    ConcreteRange a{next() % 40, 0, 1 + next() % 7};
+    a.hi = a.lo + (next() % 12) * a.stride;
+    ConcreteRange b{next() % 40, 0, 1 + next() % 7};
+    b.hi = b.lo + (next() % 12) * b.stride;
+
+    std::set<i64> sa;
+    for (i64 x = a.lo; x <= a.hi; x += a.stride) sa.insert(x);
+    bool brute = false;
+    for (i64 x = b.lo; x <= b.hi; x += b.stride)
+      if (sa.count(x) != 0) brute = true;
+
+    EXPECT_EQ(ranges_intersect(a, b), brute)
+        << "a=[" << a.lo << ":" << a.hi << ":" << a.stride << "] b=["
+        << b.lo << ":" << b.hi << ":" << b.stride << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeProperty, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// DimSec / Rsd
+// ---------------------------------------------------------------------------
+
+TEST(DimSec, InvariantOfInvalidAffineIsUnknown) {
+  EXPECT_TRUE(DimSec::invariant(Affine::invalid()).is_unknown());
+}
+
+TEST(DimSec, DegenerateRangeBecomesInvariant) {
+  DimSec d = DimSec::range(Affine::constant(3), Affine::constant(3), 1);
+  EXPECT_EQ(d.kind(), DimSec::Kind::kInvariant);
+}
+
+TEST(DimSec, CloseLoopInvariantToRange) {
+  LocalSym* i = sym("i");
+  LocalSym* p = sym("p");
+  // a[2*i + p], i in [0 .. 9] step 1 -> [p : 18+p : 2]
+  DimSec d = DimSec::invariant(Affine::variable(i, 2) + Affine::variable(p));
+  DimSec closed =
+      d.close_loop(i, Affine::constant(0), Affine::constant(9), 1);
+  ASSERT_EQ(closed.kind(), DimSec::Kind::kRange);
+  EXPECT_EQ(closed.stride(), 2);
+  EXPECT_EQ(closed.lo().coeff(p), 1);
+  EXPECT_EQ(closed.hi().const_term(), 18);
+}
+
+TEST(DimSec, CloseLoopNegativeCoefficient) {
+  LocalSym* i = sym("i");
+  // a[10 - i], i in [0..9] -> [1 : 10 : 1]
+  DimSec d = DimSec::invariant(Affine::variable(i, -1, 10));
+  DimSec closed =
+      d.close_loop(i, Affine::constant(0), Affine::constant(9), 1);
+  ASSERT_EQ(closed.kind(), DimSec::Kind::kRange);
+  EXPECT_EQ(closed.lo().const_term(), 1);
+  EXPECT_EQ(closed.hi().const_term(), 10);
+}
+
+TEST(DimSec, CloseLoopUnknownBoundsKeepsStride) {
+  LocalSym* i = sym("i");
+  DimSec d = DimSec::invariant(Affine::variable(i));
+  DimSec closed = d.close_loop(i, Affine::invalid(), Affine::invalid(), 1);
+  EXPECT_EQ(closed.kind(), DimSec::Kind::kStridedUnknown);
+  EXPECT_TRUE(closed.has_unit_stride_run(4));
+}
+
+TEST(DimSec, StridedUnknownNonUnitHasNoRun) {
+  LocalSym* i = sym("i");
+  DimSec d = DimSec::invariant(Affine::variable(i, 4));
+  DimSec closed = d.close_loop(i, Affine::invalid(), Affine::invalid(), 1);
+  EXPECT_EQ(closed.kind(), DimSec::Kind::kStridedUnknown);
+  EXPECT_FALSE(closed.has_unit_stride_run(4));
+}
+
+TEST(DimSec, UnitStrideRunLength) {
+  DimSec d = DimSec::range(Affine::constant(0), Affine::constant(2), 1);
+  EXPECT_FALSE(d.has_unit_stride_run(4));  // only 3 elements
+  DimSec e = DimSec::range(Affine::constant(0), Affine::constant(9), 1);
+  EXPECT_TRUE(e.has_unit_stride_run(4));
+}
+
+TEST(Rsd, ConcretizePidSections) {
+  LocalSym* pid = sym("pid");
+  LocalSym* i = sym("i");
+  // a[i][pid] with i closed over [0..7]
+  Rsd r({DimSec::invariant(Affine::variable(i)),
+         DimSec::invariant(Affine::variable(pid))});
+  r = r.close_loop(i, Affine::constant(0), Affine::constant(7), 1);
+  auto box = r.concretize(pid, 3, {8, 4});
+  EXPECT_EQ(box[0].lo, 0);
+  EXPECT_EQ(box[0].hi, 7);
+  EXPECT_EQ(box[1].lo, 3);
+  EXPECT_EQ(box[1].hi, 3);
+}
+
+TEST(Rsd, ConcretizeClampsToExtent) {
+  LocalSym* pid = sym("pid");
+  Rsd r({DimSec::invariant(Affine::variable(pid, 10))});
+  auto box = r.concretize(pid, 5, {8});
+  EXPECT_EQ(box[0].lo, 7);  // clamped
+}
+
+TEST(Rsd, BoxesDisjointViaAnyDim) {
+  LocalSym* pid = sym("pid");
+  Rsd r({DimSec::unknown(), DimSec::invariant(Affine::variable(pid))});
+  auto a = r.concretize(pid, 0, {16, 8});
+  auto b = r.concretize(pid, 1, {16, 8});
+  EXPECT_TRUE(boxes_disjoint(a, b));
+  auto c = r.concretize(pid, 0, {16, 8});
+  EXPECT_FALSE(boxes_disjoint(a, c));
+}
+
+TEST(Rsd, ScalarBoxesNeverDisjoint) {
+  std::vector<ConcreteRange> a;
+  std::vector<ConcreteRange> b;
+  EXPECT_FALSE(boxes_disjoint(a, b));
+}
+
+TEST(Rsd, HullOfShiftedRanges) {
+  Rsd a({DimSec::range(Affine::constant(0), Affine::constant(7), 1)});
+  Rsd b({DimSec::range(Affine::constant(4), Affine::constant(11), 1)});
+  Rsd h = a.hull(b);
+  ASSERT_EQ(h.dims()[0].kind(), DimSec::Kind::kRange);
+  EXPECT_EQ(h.dims()[0].lo().const_term(), 0);
+  EXPECT_EQ(h.dims()[0].hi().const_term(), 11);
+}
+
+TEST(Rsd, HullOfIncomparableIsUnknown) {
+  LocalSym* p = sym("p");
+  LocalSym* q = sym("q");
+  Rsd a({DimSec::invariant(Affine::variable(p))});
+  Rsd b({DimSec::invariant(Affine::variable(q))});
+  EXPECT_TRUE(a.hull(b).dims()[0].is_unknown());
+}
+
+TEST(RsdSet, DeduplicatesAndCaps) {
+  LocalSym* pid = sym("pid");
+  RsdSet set;
+  // Insert the same descriptor repeatedly: one entry.
+  for (int k = 0; k < 5; ++k)
+    set.insert(Rsd({DimSec::invariant(Affine::variable(pid))}));
+  EXPECT_EQ(set.sections().size(), 1u);
+  // Insert more than the cap of distinct descriptors: merged down.
+  for (int k = 0; k < 20; ++k)
+    set.insert(
+        Rsd({DimSec::range(Affine::constant(k * 3), Affine::constant(k * 3 + 1),
+                           1)}));
+  EXPECT_LE(set.sections().size(), RsdSet::kMaxDescriptors);
+}
+
+}  // namespace
+}  // namespace fsopt

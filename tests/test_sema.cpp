@@ -1,0 +1,225 @@
+#include "lang/sema.h"
+
+#include <gtest/gtest.h>
+
+namespace fsopt {
+namespace {
+
+std::unique_ptr<Program> check_ok(std::string_view src,
+                                  const ParamOverrides& ov = {}) {
+  DiagnosticEngine diags;
+  auto p = parse_and_check(src, diags, ov);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return p;
+}
+
+void expect_sema_error(std::string_view src, const std::string& needle) {
+  DiagnosticEngine diags;
+  try {
+    parse_and_check(src, diags, {});
+    FAIL() << "expected a compile error containing: " << needle;
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+const char* kMainOnly = "param NPROCS = 4; void main(int pid) { }";
+
+TEST(Sema, AcceptsMinimalProgram) {
+  auto p = check_ok(kMainOnly);
+  ASSERT_NE(p->main, nullptr);
+  EXPECT_EQ(p->nprocs, 4);
+}
+
+TEST(Sema, RequiresMain) { expect_sema_error("int x;", "no 'main'"); }
+
+TEST(Sema, MainSignatureChecked) {
+  expect_sema_error("void main() { }", "void main(int pid)");
+  expect_sema_error("int main(int pid) { return 0; }",
+                    "void main(int pid)");
+}
+
+TEST(Sema, StructLayoutNaturalAlignment) {
+  auto p = check_ok(
+      "struct S { int a; real b; int c; };\n"
+      "struct S s; param NPROCS = 1; void main(int pid) { }");
+  const StructType* st = p->find_struct("S");
+  EXPECT_EQ(st->fields[0].offset, 0);
+  EXPECT_EQ(st->fields[1].offset, 8);  // real aligned to 8
+  EXPECT_EQ(st->fields[2].offset, 16);
+  EXPECT_EQ(st->size, 24);  // padded to 8
+  EXPECT_EQ(st->align, 8);
+}
+
+TEST(Sema, StructFieldArrayLayout) {
+  auto p = check_ok(
+      "struct S { int v[3]; real r; };\n"
+      "struct S s; param NPROCS = 1; void main(int pid) { }");
+  const StructType* st = p->find_struct("S");
+  EXPECT_EQ(st->fields[0].offset, 0);
+  EXPECT_EQ(st->fields[1].offset, 16);  // 12 rounded to 8-align
+  EXPECT_EQ(st->size, 24);
+}
+
+TEST(Sema, DuplicateFieldReported) {
+  expect_sema_error(
+      "struct S { int a; int a; }; param NPROCS = 1; "
+      "void main(int pid) { }",
+      "duplicate field");
+}
+
+TEST(Sema, TypeMismatchIntReal) {
+  expect_sema_error(
+      "param NPROCS = 1; real x; void main(int pid) { x = 1; }",
+      "type mismatch");
+}
+
+TEST(Sema, ItorBridgesIntToReal) {
+  check_ok("param NPROCS = 1; real x; void main(int pid) { x = itor(1); }");
+}
+
+TEST(Sema, CannotAssignToParameter) {
+  expect_sema_error("param NPROCS = 1; void main(int pid) { pid = 3; }",
+                    "cannot assign to parameter");
+}
+
+TEST(Sema, UnknownVariableReported) {
+  expect_sema_error("param NPROCS = 1; void main(int pid) { y = 1; }",
+                    "unknown variable");
+}
+
+TEST(Sema, LocalShadowingGlobalRejected) {
+  expect_sema_error(
+      "param NPROCS = 1; int x; void main(int pid) { int x; }",
+      "shadows");
+}
+
+TEST(Sema, BlockScopedLocals) {
+  check_ok(
+      "param NPROCS = 1; void main(int pid) {"
+      "  if (pid == 0) { int t; t = 1; } if (pid == 1) { int t; t = 2; } }");
+}
+
+TEST(Sema, UseBeforeDeclarationRejected) {
+  expect_sema_error(
+      "param NPROCS = 1; void main(int pid) { t = 1; int t; }",
+      "unknown variable");
+}
+
+TEST(Sema, TooManyIndicesRejected) {
+  expect_sema_error(
+      "param NPROCS = 1; int a[4]; void main(int pid) { a[0][1] = 2; }",
+      "too many");
+}
+
+TEST(Sema, MissingIndicesRejected) {
+  expect_sema_error(
+      "param NPROCS = 1; int a[4]; int b; void main(int pid) { b = a[0]; "
+      "b = 0; if (a < 1) { } }",
+      "missing array indices");
+}
+
+TEST(Sema, FieldAccessOnNonStructRejected) {
+  expect_sema_error(
+      "param NPROCS = 1; int a[4]; void main(int pid) { a[0].x = 1; }",
+      "not a struct");
+}
+
+TEST(Sema, UnknownFieldRejected) {
+  expect_sema_error(
+      "param NPROCS = 1; struct S { int a; }; struct S s[2];"
+      "void main(int pid) { s[0].b = 1; }",
+      "no field");
+}
+
+TEST(Sema, FieldArrayMustBeIndexed) {
+  expect_sema_error(
+      "param NPROCS = 1; struct S { int v[2]; }; struct S s[2];"
+      "void main(int pid) { s[0].v = 1; }",
+      "is an array");
+}
+
+TEST(Sema, LockOnlyViaLockUnlock) {
+  expect_sema_error(
+      "param NPROCS = 1; lock_t l; int x; void main(int pid) { x = l; }",
+      "lock()/unlock()");
+  expect_sema_error(
+      "param NPROCS = 1; int x; void main(int pid) { lock(x); }",
+      "lock_t");
+}
+
+TEST(Sema, BarrierOnlyInMain) {
+  expect_sema_error(
+      "param NPROCS = 1; void f() { barrier(); } void main(int pid) { f(); }",
+      "only allowed in main");
+}
+
+TEST(Sema, RecursionRejected) {
+  expect_sema_error(
+      "param NPROCS = 1; int f(int x) { return f(x); }"
+      "void main(int pid) { int y; y = f(1); }",
+      "recursive");
+}
+
+TEST(Sema, MutualRecursionRejected) {
+  expect_sema_error(
+      "param NPROCS = 1;"
+      "int f(int x) { return g(x); }"
+      "int g(int x) { return f(x); }"
+      "void main(int pid) { int y; y = f(1); }",
+      "recursive");
+}
+
+TEST(Sema, CallArgumentCountChecked) {
+  expect_sema_error(
+      "param NPROCS = 1; int f(int a, int b) { return a; }"
+      "void main(int pid) { int y; y = f(1); }",
+      "wrong number of arguments");
+}
+
+TEST(Sema, CallArgumentTypesChecked) {
+  expect_sema_error(
+      "param NPROCS = 1; int f(real a) { return 0; }"
+      "void main(int pid) { int y; y = f(1); }",
+      "argument type mismatch");
+}
+
+TEST(Sema, ReturnTypeChecked) {
+  expect_sema_error(
+      "param NPROCS = 1; int f() { return; } void main(int pid) { f(); }",
+      "return type mismatch");
+}
+
+TEST(Sema, IntrinsicTyping) {
+  check_ok(
+      "param NPROCS = 1; real r; int i;"
+      "void main(int pid) {"
+      "  i = lcg(7); i = abs(0 - 2); i = min(1, 2); i = max(3, 4);"
+      "  r = itor(i); i = rtoi(r); r = sqrt(r); r = min(r, 2.0);"
+      "}");
+  expect_sema_error(
+      "param NPROCS = 1; real r; void main(int pid) { r = sqrt(1); }",
+      "sqrt takes a real");
+}
+
+TEST(Sema, RemainderRequiresInts) {
+  expect_sema_error(
+      "param NPROCS = 1; real r; void main(int pid) { r = 1.0 % 2.0; }",
+      "int operands");
+}
+
+TEST(Sema, ConditionMustBeInt) {
+  expect_sema_error(
+      "param NPROCS = 1; void main(int pid) { if (1.5) { } }",
+      "must be int");
+}
+
+TEST(Sema, MainCannotBeCalled) {
+  expect_sema_error(
+      "param NPROCS = 1; void f() { main(0); } void main(int pid) { f(); }",
+      "main may not be called");
+}
+
+}  // namespace
+}  // namespace fsopt

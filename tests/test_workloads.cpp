@@ -1,0 +1,237 @@
+// Integration tests over the reproduced benchmark suite: every workload
+// version compiles, runs to completion, and the compiler picks the
+// transformations the paper documents for it (Table 2 / §5).
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+
+namespace fsopt {
+namespace {
+
+using workloads::Workload;
+
+CompileOptions small_options(const Workload& w, bool optimize) {
+  CompileOptions o;
+  o.overrides = w.sim_overrides;
+  o.overrides["NPROCS"] = 4;  // small and fast for tests
+  o.optimize = optimize;
+  return o;
+}
+
+bool has_kind(const Compiled& c, TransformKind k) {
+  for (const auto& d : c.transforms.decisions)
+    if (d.kind == k) return true;
+  return false;
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadSuite, AllVersionsCompileAndRun) {
+  const Workload& w = workloads::get(GetParam());
+  std::vector<std::string> sources = {w.natural};
+  if (w.has_unopt() && w.unopt != w.natural) sources.push_back(w.unopt);
+  if (w.has_prog()) sources.push_back(w.prog);
+  for (const std::string& src : sources) {
+    Compiled c = compile_source(src, small_options(w, false));
+    auto m = run_program(c);
+    EXPECT_GT(m->refs(), 0u);
+  }
+}
+
+TEST_P(WorkloadSuite, CompilerVersionRunsTransformed) {
+  const Workload& w = workloads::get(GetParam());
+  Compiled c = compile_source(w.natural, small_options(w, true));
+  EXPECT_FALSE(c.transforms.decisions.empty())
+      << "no transformations chosen for " << w.name;
+  auto m = run_program(c);
+  EXPECT_GT(m->refs(), 0u);
+}
+
+TEST_P(WorkloadSuite, TransformationReducesFalseSharingAt128B) {
+  const Workload& w = workloads::get(GetParam());
+  Compiled n = compile_source(w.natural, small_options(w, false));
+  Compiled c = compile_source(w.natural, small_options(w, true));
+  auto sn = run_trace_study(n, {128});
+  auto sc = run_trace_study(c, {128});
+  EXPECT_LT(sc.at(128).false_sharing, sn.at(128).false_sharing)
+      << w.name;
+}
+
+TEST_P(WorkloadSuite, RunsAtManyProcessorCounts) {
+  const Workload& w = workloads::get(GetParam());
+  for (i64 p : {i64{1}, i64{2}, i64{8}}) {
+    CompileOptions o = small_options(w, true);
+    o.overrides["NPROCS"] = p;
+    Compiled c = compile_source(w.natural, o);
+    auto m = run_program(c);
+    EXPECT_GT(m->refs(), 0u) << w.name << " @" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadSuite,
+    ::testing::Values("maxflow", "pverify", "topopt", "fmm", "radiosity",
+                      "raytrace", "locusroute", "mp3d", "pthor", "water"));
+
+// Per-program transformation mix, as documented in Table 2 / Sec. 5.
+TEST(WorkloadTransforms, MaxflowUsesPaddingAndLocksOnly) {
+  const Workload& w = workloads::get("maxflow");
+  CompileOptions o;
+  o.overrides = w.sim_overrides;
+  o.overrides["NPROCS"] = 12;
+  o.optimize = true;
+  Compiled c = compile_source(w.natural, o);
+  EXPECT_TRUE(has_kind(c, TransformKind::kPadAlign));
+  EXPECT_TRUE(has_kind(c, TransformKind::kLockPad));
+  EXPECT_FALSE(has_kind(c, TransformKind::kGroupTranspose));
+  EXPECT_FALSE(has_kind(c, TransformKind::kIndirection));
+}
+
+TEST(WorkloadTransforms, PverifyDominatedByIndirection) {
+  const Workload& w = workloads::get("pverify");
+  CompileOptions o;
+  o.overrides = w.sim_overrides;
+  o.overrides["NPROCS"] = 12;
+  o.optimize = true;
+  Compiled c = compile_source(w.natural, o);
+  EXPECT_TRUE(has_kind(c, TransformKind::kIndirection));
+  EXPECT_TRUE(has_kind(c, TransformKind::kGroupTranspose));
+  EXPECT_TRUE(has_kind(c, TransformKind::kLockPad));
+}
+
+TEST(WorkloadTransforms, TopoptUsesGroupTransposeAndIndirection) {
+  const Workload& w = workloads::get("topopt");
+  CompileOptions o;
+  o.overrides = w.sim_overrides;
+  o.overrides["NPROCS"] = 9;
+  o.optimize = true;
+  Compiled c = compile_source(w.natural, o);
+  EXPECT_TRUE(has_kind(c, TransformKind::kGroupTranspose));
+  EXPECT_TRUE(has_kind(c, TransformKind::kIndirection));
+}
+
+TEST(WorkloadTransforms, FmmDominatedByGroupTranspose) {
+  const Workload& w = workloads::get("fmm");
+  CompileOptions o;
+  o.overrides = w.sim_overrides;
+  o.overrides["NPROCS"] = 12;
+  o.optimize = true;
+  Compiled c = compile_source(w.natural, o);
+  EXPECT_TRUE(has_kind(c, TransformKind::kGroupTranspose));
+  EXPECT_TRUE(has_kind(c, TransformKind::kLockPad));
+  EXPECT_FALSE(has_kind(c, TransformKind::kIndirection));
+}
+
+TEST(WorkloadTransforms, TopoptRevolvingArrayLeftAlone) {
+  const Workload& w = workloads::get("topopt");
+  CompileOptions o;
+  o.overrides = w.sim_overrides;
+  o.overrides["NPROCS"] = 9;
+  o.optimize = true;
+  Compiled c = compile_source(w.natural, o);
+  const GlobalSym* moved = c.prog->find_global("moved");
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(c.transforms.applying_to(moved->id, -1), nullptr)
+      << "the revolving partition must be invisible to the analysis";
+}
+
+TEST(WorkloadTransforms, MaxflowCountersEscapeProfiling) {
+  const Workload& w = workloads::get("maxflow");
+  CompileOptions o;
+  o.overrides = w.sim_overrides;
+  o.overrides["NPROCS"] = 12;
+  o.optimize = true;
+  Compiled c = compile_source(w.natural, o);
+  for (const char* name : {"work_done", "total_pushes"}) {
+    const GlobalSym* g = c.prog->find_global(name);
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(c.transforms.applying_to(g->id, -1), nullptr) << name;
+  }
+}
+
+TEST(WorkloadInvariants, MaxflowConservesFlowSign) {
+  const Workload& w = workloads::get("maxflow");
+  Compiled c = compile_source(w.natural, small_options(w, true));
+  auto m = run_program(c);
+  // All flows are non-negative and bounded by capacity + slack.
+  i64 nn = c.prog->params.at("N");
+  i64 ee = c.prog->params.at("E");
+  for (i64 u = 0; u < nn; u += 17) {
+    for (i64 e = 0; e < ee; ++e) {
+      double f = m->load_real(c.address_of("flow", "", {u, e}));
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 64.0);
+    }
+  }
+}
+
+TEST(WorkloadInvariants, PverifyChecksEveryGateReachable) {
+  const Workload& w = workloads::get("pverify");
+  Compiled n = compile_source(w.natural, small_options(w, false));
+  auto m = run_program(n);
+  i64 total = 0;
+  for (i64 p = 0; p < 4; ++p)
+    total += m->load_int(n.address_of("checked", "", {p}));
+  EXPECT_GT(total, 0);
+}
+
+TEST(WorkloadInvariants, FmmCountsParticlesExactly) {
+  const Workload& w = workloads::get("fmm");
+  for (bool opt : {false, true}) {
+    Compiled c = compile_source(w.natural, small_options(w, opt));
+    auto m = run_program(c);
+    i64 np = c.prog->params.at("NP");
+    i64 steps = c.prog->params.at("STEPS");
+    i64 total = 0;
+    for (i64 p = 0; p < 4; ++p)
+      total += m->load_int(c.address_of("wcount", "", {p}));
+    EXPECT_EQ(total, np * steps);
+  }
+}
+
+TEST(WorkloadInvariants, RaytraceDispensesEveryRay) {
+  const Workload& w = workloads::get("raytrace");
+  Compiled c = compile_source(w.natural, small_options(w, true));
+  auto m = run_program(c);
+  i64 scan = c.prog->params.at("SCAN");
+  i64 width = c.prog->params.at("WIDTH");
+  i64 frames = c.prog->params.at("FRAMES");
+  EXPECT_EQ(m->load_int(c.address_of("ray_id", "", {})),
+            scan * width * frames);
+}
+
+TEST(WorkloadInvariants, LocusrouteRoutesEveryWire) {
+  const Workload& w = workloads::get("locusroute");
+  Compiled c = compile_source(w.natural, small_options(w, true));
+  auto m = run_program(c);
+  i64 wires = c.prog->params.at("WIRES");
+  i64 total = 0;
+  for (i64 p = 0; p < 4; ++p)
+    total += m->load_int(c.address_of("routed", "", {p}));
+  EXPECT_EQ(total, wires);
+}
+
+TEST(WorkloadInvariants, Mp3dCollisionsMatchMoves) {
+  const Workload& w = workloads::get("mp3d");
+  Compiled c = compile_source(w.natural, small_options(w, true));
+  auto m = run_program(c);
+  i64 nmol = c.prog->params.at("NMOL");
+  i64 steps = c.prog->params.at("STEPS");
+  i64 total = 0;
+  for (i64 p = 0; p < 4; ++p)
+    total += m->load_int(c.address_of("collisions", "", {p}));
+  EXPECT_EQ(total, nmol * steps);
+}
+
+TEST(WorkloadInvariants, WaterAccumulatesKineticEnergy) {
+  const Workload& w = workloads::get("water");
+  Compiled c = compile_source(w.natural, small_options(w, true));
+  auto m = run_program(c);
+  double kin = m->load_real(c.address_of("kin_total", "", {}));
+  EXPECT_GT(kin, 0.0);
+}
+
+}  // namespace
+}  // namespace fsopt

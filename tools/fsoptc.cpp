@@ -1,0 +1,186 @@
+// fsoptc — command-line driver for the fsopt restructurer.
+//
+//   fsoptc FILE.ppl [options]
+//
+//   --nprocs N          number of processes (overrides param NPROCS)
+//   --param NAME=VALUE  override any compile-time parameter (repeatable)
+//   --block N           coherence-unit size targeted by transforms (128)
+//   --no-optimize       skip the transformations (unoptimized layout)
+//   --report            print the sharing classification
+//   --transforms        print the transformation decisions
+//   --rewrite           print the runnable source-to-source output
+//   --run               execute and report reference counts
+//   --miss [B,B,...]    trace-driven miss study (default 16,128)
+//   --ksr               execution time under the KSR2 model
+//   --disasm            dump the bytecode
+//
+// With no action flags, behaves like `--transforms --miss --ksr`.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "transform/source_rewrite.h"
+
+using namespace fsopt;
+
+namespace {
+
+struct Cli {
+  std::string file;
+  CompileOptions options;
+  bool optimize = true;
+  bool report = false;
+  bool transforms = false;
+  bool rewrite = false;
+  bool run = false;
+  bool miss = false;
+  bool ksr = false;
+  bool disasm = false;
+  std::vector<i64> blocks = {16, 128};
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "fsoptc: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: fsoptc FILE.ppl [--nprocs N] [--param K=V] "
+               "[--block N]\n"
+               "              [--no-optimize] [--report] [--transforms]\n"
+               "              [--rewrite] [--run] [--miss [B,...]] [--ksr]\n"
+               "              [--disasm]\n");
+  std::exit(2);
+}
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value after " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--nprocs") {
+      cli.options.overrides["NPROCS"] = std::atoll(next().c_str());
+    } else if (a == "--param") {
+      std::string kv = next();
+      size_t eq = kv.find('=');
+      if (eq == std::string::npos) usage("--param expects NAME=VALUE");
+      cli.options.overrides[kv.substr(0, eq)] =
+          std::atoll(kv.c_str() + eq + 1);
+    } else if (a == "--block") {
+      cli.options.block_size = std::atoll(next().c_str());
+    } else if (a == "--no-optimize") {
+      cli.optimize = false;
+    } else if (a == "--report") {
+      cli.report = true;
+    } else if (a == "--transforms") {
+      cli.transforms = true;
+    } else if (a == "--rewrite") {
+      cli.rewrite = true;
+    } else if (a == "--run") {
+      cli.run = true;
+    } else if (a == "--miss") {
+      cli.miss = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        cli.blocks.clear();
+        std::stringstream ss(next());
+        std::string tok;
+        while (std::getline(ss, tok, ','))
+          cli.blocks.push_back(std::atoll(tok.c_str()));
+      }
+    } else if (a == "--ksr") {
+      cli.ksr = true;
+    } else if (a == "--disasm") {
+      cli.disasm = true;
+    } else if (a.rfind("--", 0) == 0) {
+      usage(("unknown option " + a).c_str());
+    } else if (cli.file.empty()) {
+      cli.file = a;
+    } else {
+      usage("multiple input files");
+    }
+  }
+  if (cli.file.empty()) usage(nullptr);
+  if (!cli.report && !cli.transforms && !cli.rewrite && !cli.run &&
+      !cli.miss && !cli.ksr && !cli.disasm) {
+    cli.transforms = cli.miss = cli.ksr = true;
+  }
+  return cli;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli = parse_cli(argc, argv);
+
+  std::ifstream in(cli.file);
+  if (!in) {
+    std::fprintf(stderr, "fsoptc: cannot open %s\n", cli.file.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string source = buf.str();
+
+  try {
+    cli.options.optimize = cli.optimize;
+    Compiled c = compile_source(source, cli.options);
+
+    if (cli.report)
+      std::printf("--- sharing classification ---\n%s\n",
+                  c.report.render().c_str());
+    if (cli.transforms)
+      std::printf("--- transformations ---\n%s\n",
+                  c.transforms.render(c.summary).c_str());
+    if (cli.rewrite) {
+      SourceRewriteResult rw =
+          rewrite_to_source(*c.prog, c.transforms, cli.options.block_size);
+      std::printf("%s", rw.source.c_str());
+      for (const auto& sk : rw.skipped)
+        std::fprintf(stderr, "fsoptc: not expressible in source: %s\n",
+                     sk.c_str());
+    }
+    if (cli.disasm) std::printf("%s", c.code.disassemble().c_str());
+    if (cli.run) {
+      auto m = run_program(c);
+      std::printf("ran %lld processes: %llu instructions, %llu shared "
+                  "references\n",
+                  static_cast<long long>(c.nprocs()),
+                  static_cast<unsigned long long>(m->instructions()),
+                  static_cast<unsigned long long>(m->refs()));
+    }
+    if (cli.miss) {
+      auto st = run_trace_study(c, cli.blocks);
+      std::printf("block   miss-rate   false-sharing   (cold/repl/true/false)\n");
+      for (i64 b : cli.blocks) {
+        const MissStats& s = st.at(b);
+        std::printf("%5lld   %6.2f%%      %6.2f%%       (%llu/%llu/%llu/%llu)\n",
+                    static_cast<long long>(b), 100 * s.miss_rate(),
+                    100 * s.false_sharing_rate(),
+                    static_cast<unsigned long long>(s.cold),
+                    static_cast<unsigned long long>(s.replacement),
+                    static_cast<unsigned long long>(s.true_sharing),
+                    static_cast<unsigned long long>(s.false_sharing));
+      }
+    }
+    if (cli.ksr) {
+      TimingResult t = run_ksr(c);
+      std::printf("KSR2 model: %lld cycles (%llu refs, %llu misses, "
+                  "%lld queue cycles)\n",
+                  static_cast<long long>(t.cycles),
+                  static_cast<unsigned long long>(t.refs),
+                  static_cast<unsigned long long>(t.ksr.misses),
+                  static_cast<long long>(t.ksr.queue_cycles));
+    }
+  } catch (const CompileError& e) {
+    std::fprintf(stderr, "fsoptc: compile error:\n%s", e.what());
+    return 1;
+  } catch (const InternalError& e) {
+    std::fprintf(stderr, "fsoptc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
