@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exectime_gains.dir/bench_exectime_gains.cpp.o"
+  "CMakeFiles/bench_exectime_gains.dir/bench_exectime_gains.cpp.o.d"
+  "bench_exectime_gains"
+  "bench_exectime_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exectime_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_exectime_gains.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_missrates.dir/bench_fig3_missrates.cpp.o"
+  "CMakeFiles/bench_fig3_missrates.dir/bench_fig3_missrates.cpp.o.d"
+  "bench_fig3_missrates"
+  "bench_fig3_missrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_missrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hw_comparison.dir/bench_hw_comparison.cpp.o"
+  "CMakeFiles/bench_hw_comparison.dir/bench_hw_comparison.cpp.o.d"
+  "bench_hw_comparison"
+  "bench_hw_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_ablation.dir/bench_lock_ablation.cpp.o"
+  "CMakeFiles/bench_lock_ablation.dir/bench_lock_ablation.cpp.o.d"
+  "bench_lock_ablation"
+  "bench_lock_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

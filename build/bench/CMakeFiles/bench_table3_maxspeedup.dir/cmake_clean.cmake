@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_maxspeedup.dir/bench_table3_maxspeedup.cpp.o"
+  "CMakeFiles/bench_table3_maxspeedup.dir/bench_table3_maxspeedup.cpp.o.d"
+  "bench_table3_maxspeedup"
+  "bench_table3_maxspeedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_maxspeedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_analysis.dir/inspect_analysis.cpp.o"
+  "CMakeFiles/inspect_analysis.dir/inspect_analysis.cpp.o.d"
+  "inspect_analysis"
+  "inspect_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

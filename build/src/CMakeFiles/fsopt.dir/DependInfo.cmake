@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/pdv.cpp" "src/CMakeFiles/fsopt.dir/analysis/pdv.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/analysis/pdv.cpp.o.d"
+  "/root/repo/src/analysis/perprocess.cpp" "src/CMakeFiles/fsopt.dir/analysis/perprocess.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/analysis/perprocess.cpp.o.d"
+  "/root/repo/src/analysis/phases.cpp" "src/CMakeFiles/fsopt.dir/analysis/phases.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/analysis/phases.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/fsopt.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/sideeffect.cpp" "src/CMakeFiles/fsopt.dir/analysis/sideeffect.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/analysis/sideeffect.cpp.o.d"
+  "/root/repo/src/cfg/callgraph.cpp" "src/CMakeFiles/fsopt.dir/cfg/callgraph.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/cfg/callgraph.cpp.o.d"
+  "/root/repo/src/cfg/cfg.cpp" "src/CMakeFiles/fsopt.dir/cfg/cfg.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/cfg/cfg.cpp.o.d"
+  "/root/repo/src/driver/compiler.cpp" "src/CMakeFiles/fsopt.dir/driver/compiler.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/driver/compiler.cpp.o.d"
+  "/root/repo/src/driver/experiment.cpp" "src/CMakeFiles/fsopt.dir/driver/experiment.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/driver/experiment.cpp.o.d"
+  "/root/repo/src/interp/bytecode.cpp" "src/CMakeFiles/fsopt.dir/interp/bytecode.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/interp/bytecode.cpp.o.d"
+  "/root/repo/src/interp/compile.cpp" "src/CMakeFiles/fsopt.dir/interp/compile.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/interp/compile.cpp.o.d"
+  "/root/repo/src/interp/machine.cpp" "src/CMakeFiles/fsopt.dir/interp/machine.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/interp/machine.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/fsopt.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/fsopt.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/fsopt.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/printer.cpp" "src/CMakeFiles/fsopt.dir/lang/printer.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/lang/printer.cpp.o.d"
+  "/root/repo/src/lang/sema.cpp" "src/CMakeFiles/fsopt.dir/lang/sema.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/lang/sema.cpp.o.d"
+  "/root/repo/src/lang/types.cpp" "src/CMakeFiles/fsopt.dir/lang/types.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/lang/types.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/CMakeFiles/fsopt.dir/layout/layout.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/layout/layout.cpp.o.d"
+  "/root/repo/src/rsd/affine.cpp" "src/CMakeFiles/fsopt.dir/rsd/affine.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/rsd/affine.cpp.o.d"
+  "/root/repo/src/rsd/rsd.cpp" "src/CMakeFiles/fsopt.dir/rsd/rsd.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/rsd/rsd.cpp.o.d"
+  "/root/repo/src/sim/attribution.cpp" "src/CMakeFiles/fsopt.dir/sim/attribution.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/sim/attribution.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/fsopt.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/classify.cpp" "src/CMakeFiles/fsopt.dir/sim/classify.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/sim/classify.cpp.o.d"
+  "/root/repo/src/sim/ksr.cpp" "src/CMakeFiles/fsopt.dir/sim/ksr.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/sim/ksr.cpp.o.d"
+  "/root/repo/src/sim/memsys.cpp" "src/CMakeFiles/fsopt.dir/sim/memsys.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/sim/memsys.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/fsopt.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/fsopt.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/support/stats.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/fsopt.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/transform/decision.cpp" "src/CMakeFiles/fsopt.dir/transform/decision.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/transform/decision.cpp.o.d"
+  "/root/repo/src/transform/plan.cpp" "src/CMakeFiles/fsopt.dir/transform/plan.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/transform/plan.cpp.o.d"
+  "/root/repo/src/transform/rewrite.cpp" "src/CMakeFiles/fsopt.dir/transform/rewrite.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/transform/rewrite.cpp.o.d"
+  "/root/repo/src/transform/source_rewrite.cpp" "src/CMakeFiles/fsopt.dir/transform/source_rewrite.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/transform/source_rewrite.cpp.o.d"
+  "/root/repo/src/workloads/fmm.cpp" "src/CMakeFiles/fsopt.dir/workloads/fmm.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/workloads/fmm.cpp.o.d"
+  "/root/repo/src/workloads/locusroute.cpp" "src/CMakeFiles/fsopt.dir/workloads/locusroute.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/workloads/locusroute.cpp.o.d"
+  "/root/repo/src/workloads/maxflow.cpp" "src/CMakeFiles/fsopt.dir/workloads/maxflow.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/workloads/maxflow.cpp.o.d"
+  "/root/repo/src/workloads/mp3d.cpp" "src/CMakeFiles/fsopt.dir/workloads/mp3d.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/workloads/mp3d.cpp.o.d"
+  "/root/repo/src/workloads/pthor.cpp" "src/CMakeFiles/fsopt.dir/workloads/pthor.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/workloads/pthor.cpp.o.d"
+  "/root/repo/src/workloads/pverify.cpp" "src/CMakeFiles/fsopt.dir/workloads/pverify.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/workloads/pverify.cpp.o.d"
+  "/root/repo/src/workloads/radiosity.cpp" "src/CMakeFiles/fsopt.dir/workloads/radiosity.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/workloads/radiosity.cpp.o.d"
+  "/root/repo/src/workloads/raytrace.cpp" "src/CMakeFiles/fsopt.dir/workloads/raytrace.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/workloads/raytrace.cpp.o.d"
+  "/root/repo/src/workloads/topopt.cpp" "src/CMakeFiles/fsopt.dir/workloads/topopt.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/workloads/topopt.cpp.o.d"
+  "/root/repo/src/workloads/water.cpp" "src/CMakeFiles/fsopt.dir/workloads/water.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/workloads/water.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/fsopt.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/fsopt.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decision.dir/test_decision.cpp.o"
+  "CMakeFiles/test_decision.dir/test_decision.cpp.o.d"
+  "test_decision"
+  "test_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

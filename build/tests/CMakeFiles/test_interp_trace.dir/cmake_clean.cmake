@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_trace.dir/test_interp_trace.cpp.o"
+  "CMakeFiles/test_interp_trace.dir/test_interp_trace.cpp.o.d"
+  "test_interp_trace"
+  "test_interp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

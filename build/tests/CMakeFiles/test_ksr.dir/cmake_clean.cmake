@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ksr.dir/test_ksr.cpp.o"
+  "CMakeFiles/test_ksr.dir/test_ksr.cpp.o.d"
+  "test_ksr"
+  "test_ksr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ksr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ksr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdv.dir/test_pdv.cpp.o"
+  "CMakeFiles/test_pdv.dir/test_pdv.cpp.o.d"
+  "test_pdv"
+  "test_pdv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perprocess.dir/test_perprocess.cpp.o"
+  "CMakeFiles/test_perprocess.dir/test_perprocess.cpp.o.d"
+  "test_perprocess"
+  "test_perprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsd.dir/test_rsd.cpp.o"
+  "CMakeFiles/test_rsd.dir/test_rsd.cpp.o.d"
+  "test_rsd"
+  "test_rsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

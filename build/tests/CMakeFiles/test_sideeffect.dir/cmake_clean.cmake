@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sideeffect.dir/test_sideeffect.cpp.o"
+  "CMakeFiles/test_sideeffect.dir/test_sideeffect.cpp.o.d"
+  "test_sideeffect"
+  "test_sideeffect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sideeffect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

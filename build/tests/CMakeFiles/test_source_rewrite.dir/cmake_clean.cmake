@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_source_rewrite.dir/test_source_rewrite.cpp.o"
+  "CMakeFiles/test_source_rewrite.dir/test_source_rewrite.cpp.o.d"
+  "test_source_rewrite"
+  "test_source_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_source_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

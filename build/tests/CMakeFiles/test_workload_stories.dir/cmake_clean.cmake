@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_stories.dir/test_workload_stories.cpp.o"
+  "CMakeFiles/test_workload_stories.dir/test_workload_stories.cpp.o.d"
+  "test_workload_stories"
+  "test_workload_stories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_stories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsoptc.dir/fsoptc.cpp.o"
+  "CMakeFiles/fsoptc.dir/fsoptc.cpp.o.d"
+  "fsoptc"
+  "fsoptc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsoptc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
