@@ -8,7 +8,9 @@
 using namespace fsopt;
 using namespace fsopt::benchx;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions bo = parse_bench_args(argc, argv);
+  JsonReport json;
   std::printf("=== Block-size sweep, 4-256 bytes ===\n\n");
   for (const std::string& name : fig3_programs()) {
     const auto& w = workloads::get(name);
@@ -32,8 +34,13 @@ int main() {
       t.add_row({std::to_string(b), pct(a.miss_rate()),
                  pct(a.false_sharing_rate()), pct(z.miss_rate()),
                  pct(z.false_sharing_rate()), pct(removed)});
+      std::string blk = std::to_string(b);
+      json.add(name, "n_miss_rate_b" + blk, a.miss_rate());
+      json.add(name, "c_miss_rate_b" + blk, z.miss_rate());
+      json.add(name, "fs_removed_b" + blk, removed);
     }
     std::printf("%s\n", t.render().c_str());
   }
+  json.write(bo.json_path);
   return 0;
 }

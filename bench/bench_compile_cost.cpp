@@ -58,6 +58,9 @@ BENCHMARK(BM_FullCompile);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Our shared flags are stripped first; the rest go to google-benchmark.
+  BenchOptions bo = parse_bench_args(argc, argv, /*allow_unknown=*/true);
+  JsonReport json;
   std::printf(
       "=== Compile cost (paper Sec. 3: analyses ~5%% of restructurer "
       "time) ===\n\n");
@@ -82,8 +85,12 @@ int main(int argc, char** argv) {
     double back = std::chrono::duration<double>(t3 - t2).count();
     std::printf("%-11s analyses %.0f us = %.1f%% of compile\n", name.c_str(),
                 ana * 1e6, 100.0 * ana / (front + ana + back));
+    json.add(name, "analyses_seconds", ana);
+    json.add(name, "analyses_fraction_of_compile",
+             ana / (front + ana + back));
   }
   std::printf("\n");
+  json.write(bo.json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

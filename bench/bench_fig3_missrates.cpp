@@ -7,7 +7,9 @@
 using namespace fsopt;
 using namespace fsopt::benchx;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions bo = parse_bench_args(argc, argv);
+  JsonReport json;
   std::printf("=== Figure 3: miss rates, unoptimized vs compiler ===\n");
   std::printf("(white bar portion = false-sharing misses)\n\n");
   TextTable t({"Program", "Block", "N miss", "N fs-part", "C miss",
@@ -31,9 +33,16 @@ int main() {
       t.add_row({name, std::to_string(b), pct(a.miss_rate()),
                  pct(a.false_sharing_rate()), pct(z.miss_rate()),
                  pct(z.false_sharing_rate()), pct(removed)});
+      std::string blk = std::to_string(b);
+      json.add(name, "n_miss_rate_b" + blk, a.miss_rate());
+      json.add(name, "n_fs_rate_b" + blk, a.false_sharing_rate());
+      json.add(name, "c_miss_rate_b" + blk, z.miss_rate());
+      json.add(name, "c_fs_rate_b" + blk, z.false_sharing_rate());
+      json.add(name, "fs_removed_b" + blk, removed);
     }
   }
   std::printf("%s\n", t.render().c_str());
+  json.write(bo.json_path);
   std::printf(
       "Paper shape to verify: false sharing grows with block size; the\n"
       "transformations remove most of it at every block size, and the\n"

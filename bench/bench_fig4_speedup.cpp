@@ -8,7 +8,9 @@
 using namespace fsopt;
 using namespace fsopt::benchx;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions bo = parse_bench_args(argc, argv);
+  JsonReport json;
   std::printf("=== Figure 4: scalability of N / C / P versions ===\n\n");
   for (const char* name : {"raytrace", "fmm", "pverify"}) {
     const auto& w = workloads::get(name);
@@ -28,9 +30,14 @@ int main() {
       t.add_row({std::to_string(n.procs[i]), fixed(n.speedup[i], 2),
                  fixed(c.speedup[i], 2),
                  w.has_prog() ? fixed(p.speedup[i], 2) : std::string("-")});
+      std::string at = "_p" + std::to_string(n.procs[i]);
+      json.add(name, "speedup_n" + at, n.speedup[i]);
+      json.add(name, "speedup_c" + at, c.speedup[i]);
+      if (w.has_prog()) json.add(name, "speedup_p" + at, p.speedup[i]);
     }
     std::printf("%s\n", t.render().c_str());
   }
+  json.write(bo.json_path);
   std::printf(
       "Paper shape to verify: the unoptimized curves reverse at small\n"
       "processor counts while the compiler curves keep climbing; for Fmm\n"

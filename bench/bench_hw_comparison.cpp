@@ -14,20 +14,22 @@ using namespace fsopt::benchx;
 
 namespace {
 
-MissStats run_with(const Compiled& c, i64 block, i64 assoc, bool word_inv) {
+// Every hardware configuration replays the same recorded trace — the
+// interpreter runs once per program version, not once per configuration.
+MissStats replay_with(const TraceBuffer& trace, const Compiled& c,
+                      i64 block, i64 assoc, bool word_inv) {
   CacheParams p{c.nprocs(), 32 * 1024, block, c.code.total_bytes, assoc,
                 word_inv};
   CacheSim sim(p);
-  MachineOptions mo;
-  mo.sink = &sim;
-  Machine m(c.code, mo);
-  m.run();
+  trace.replay(sim);
   return sim.stats();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions bo = parse_bench_args(argc, argv);
+  JsonReport json;
   std::printf(
       "=== Software transformations vs word-invalidate hardware (128B) "
       "===\n\n");
@@ -39,14 +41,22 @@ int main() {
         w.unopt, options_for(w, w.fig3_procs, false, false));
     Compiled c = compile_source(
         w.natural, options_for(w, w.fig3_procs, true, false));
-    MissStats base = run_with(n, 128, 1, false);
-    MissStats hw = run_with(n, 128, 1, true);
-    MissStats sw = run_with(c, 128, 1, false);
+    TraceBuffer nt = record_trace(n);
+    TraceBuffer ct = record_trace(c);
+    MissStats base, hw, sw;
+    parallel_for_each(experiment_threads(), 3, [&](size_t j) {
+      if (j == 0) base = replay_with(nt, n, 128, 1, false);
+      if (j == 1) hw = replay_with(nt, n, 128, 1, true);
+      if (j == 2) sw = replay_with(ct, c, 128, 1, false);
+    });
     t.add_row({name, std::to_string(base.false_sharing),
                std::to_string(hw.false_sharing),
                std::to_string(sw.false_sharing),
                std::to_string(base.misses()), std::to_string(hw.misses()),
                std::to_string(sw.misses())});
+    json.add(name, "n_fs_misses_b128", static_cast<double>(base.false_sharing));
+    json.add(name, "n_wordinv_fs_misses_b128", static_cast<double>(hw.false_sharing));
+    json.add(name, "c_fs_misses_b128", static_cast<double>(sw.false_sharing));
   }
   std::printf("%s\n", t.render().c_str());
   std::printf(
@@ -60,14 +70,28 @@ int main() {
                               options_for(w, w.fig3_procs, false, false));
   Compiled c = compile_source(w.natural,
                               options_for(w, w.fig3_procs, true, false));
+  TraceBuffer nt = record_trace(n);
+  TraceBuffer ct = record_trace(c);
+  const std::vector<i64> assocs = {1, 2, 4, 8};
+  std::vector<MissStats> sn(assocs.size()), sc(assocs.size());
+  parallel_for_each(experiment_threads(), assocs.size() * 2, [&](size_t j) {
+    size_t i = j / 2;
+    if (j % 2 == 0)
+      sn[i] = replay_with(nt, n, 128, assocs[i], false);
+    else
+      sc[i] = replay_with(ct, c, 128, assocs[i], false);
+  });
   TextTable t2({"assoc", "N miss rate", "N fs rate", "C miss rate"});
-  for (i64 a : {i64{1}, i64{2}, i64{4}, i64{8}}) {
-    MissStats sn = run_with(n, 128, a, false);
-    MissStats sc = run_with(c, 128, a, false);
-    t2.add_row({std::to_string(a), pct(sn.miss_rate()),
-                pct(sn.false_sharing_rate()), pct(sc.miss_rate())});
+  for (size_t i = 0; i < assocs.size(); ++i) {
+    t2.add_row({std::to_string(assocs[i]), pct(sn[i].miss_rate()),
+                pct(sn[i].false_sharing_rate()), pct(sc[i].miss_rate())});
+    json.add("fmm", "n_miss_rate_a" + std::to_string(assocs[i]),
+             sn[i].miss_rate());
+    json.add("fmm", "c_miss_rate_a" + std::to_string(assocs[i]),
+             sc[i].miss_rate());
   }
   std::printf("%s\n", t2.render().c_str());
+  json.write(bo.json_path);
   std::printf(
       "False sharing is coherence traffic: higher associativity removes\n"
       "conflict misses but cannot touch the false-sharing component.\n");

@@ -97,19 +97,39 @@ i64 run(const char* src, i64 procs, bool lock_pad_only) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions bo = parse_bench_args(argc, argv);
+  JsonReport json;
   std::printf("=== Lock placement ablation (same kernel, three layouts) "
               "===\n\n");
   TextTable t({"procs", "unpadded locks", "padded locks (fsopt)",
                "co-allocated with data"});
-  for (i64 p : {i64{4}, i64{8}, i64{16}, i64{32}}) {
-    i64 unpadded = run(kUnpadded, p, false);
-    i64 padded = run(kUnpadded, p, true);
-    i64 coalloc = run(kCoallocated, p, false);
-    t.add_row({std::to_string(p), std::to_string(unpadded),
-               std::to_string(padded), std::to_string(coalloc)});
+  // Every (processor count, layout) cell is an independent compile+run
+  // job; fan the whole grid across the pool.
+  const std::vector<i64> procs = {4, 8, 16, 32};
+  std::vector<i64> unpadded(procs.size()), padded(procs.size()),
+      coalloc(procs.size());
+  parallel_for_each(experiment_threads(), procs.size() * 3, [&](size_t j) {
+    size_t i = j / 3;
+    switch (j % 3) {
+      case 0: unpadded[i] = run(kUnpadded, procs[i], false); break;
+      case 1: padded[i] = run(kUnpadded, procs[i], true); break;
+      case 2: coalloc[i] = run(kCoallocated, procs[i], false); break;
+    }
+  });
+  for (size_t i = 0; i < procs.size(); ++i) {
+    t.add_row({std::to_string(procs[i]), std::to_string(unpadded[i]),
+               std::to_string(padded[i]), std::to_string(coalloc[i])});
+    std::string at = "_p" + std::to_string(procs[i]);
+    json.add("lock_kernel", "unpadded_cycles" + at,
+             static_cast<double>(unpadded[i]));
+    json.add("lock_kernel", "padded_cycles" + at,
+             static_cast<double>(padded[i]));
+    json.add("lock_kernel", "coallocated_cycles" + at,
+             static_cast<double>(coalloc[i]));
   }
   std::printf("%s\n", t.render().c_str());
+  json.write(bo.json_path);
   std::printf(
       "Cycles to completion; lower is better.  Paper shape to verify:\n"
       "under contention (here 16+ processors), padded locks beat both\n"

@@ -11,7 +11,9 @@
 using namespace fsopt;
 using namespace fsopt::benchx;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions bo = parse_bench_args(argc, argv);
+  JsonReport json;
   std::printf("=== Headline simulation claims (vs paper, Sec. 5) ===\n\n");
   u64 n_fs128 = 0, n_other128 = 0, c_fs128 = 0, c_other128 = 0;
   u64 n_all64 = 0, c_all64 = 0;
@@ -52,5 +54,11 @@ int main() {
   t.add_row({"total miss reduction @64B (vs Torrellas 10-13%)", pct(drop64),
              "49%"});
   std::printf("%s\n", t.render().c_str());
+  json.add("suite", "fs_fraction_b128", fs_frac);
+  json.add("suite", "fs_removed_b128", fs_removed);
+  json.add("suite", "other_miss_growth_b128", other_growth);
+  json.add("suite", "total_miss_reduction_b128", total_drop);
+  json.add("suite", "total_miss_reduction_b64", drop64);
+  json.write(bo.json_path);
   return 0;
 }

@@ -70,7 +70,9 @@ std::string cell(double v) { return v < 0.0005 ? "-" : pct(v); }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions bo = parse_bench_args(argc, argv);
+  JsonReport json;
   std::printf("=== Table 2: FS reduction by transformation (8-256B avg) ===\n\n");
   TextTable t({"Program", "Total", "G&T", "Indirection", "Pad&Align",
                "Locks", "| paper total", "G&T", "Ind", "Pad", "Locks"});
@@ -80,8 +82,14 @@ int main() {
     t.add_row({pr.name, cell(s.total), cell(s.gt), cell(s.indir),
                cell(s.pad), cell(s.locks), std::string("| ") + pr.total,
                pr.gt, pr.indir, pr.pad, pr.locks});
+    json.add(pr.name, "fs_removed_total", s.total);
+    json.add(pr.name, "fs_removed_group_transpose", s.gt);
+    json.add(pr.name, "fs_removed_indirection", s.indir);
+    json.add(pr.name, "fs_removed_pad_align", s.pad);
+    json.add(pr.name, "fs_removed_lock_pad", s.locks);
   }
   std::printf("%s\n", t.render().c_str());
+  json.write(bo.json_path);
   std::printf(
       "Paper shape to verify: every program's false sharing drops; no\n"
       "single transformation is responsible — G&T dominates the SPLASH2\n"

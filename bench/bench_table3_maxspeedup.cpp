@@ -6,7 +6,9 @@
 using namespace fsopt;
 using namespace fsopt::benchx;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOptions bo = parse_bench_args(argc, argv);
+  JsonReport json;
   std::printf("=== Table 3: maximum speedups (ours | paper) ===\n\n");
   TextTable t({"Program", "Original", "Compiler", "Programmer",
                "| paper orig", "compiler", "programmer"});
@@ -24,18 +26,26 @@ int main() {
     if (w.has_unopt()) {
       auto [s, at] = peak_speedup(w.unopt, base, bl);
       ncell = speedup_cell(s, at);
+      json.add(pr.name, "peak_speedup_n", s);
+      json.add(pr.name, "peak_speedup_n_procs", static_cast<double>(at));
     }
     auto [cs, cat] = peak_speedup(w.natural, copt, bl);
     std::string pcell = "-";
     if (w.has_prog()) {
       auto [s, at] = peak_speedup(w.prog, base, bl);
       pcell = speedup_cell(s, at);
+      json.add(pr.name, "peak_speedup_p", s);
+      json.add(pr.name, "peak_speedup_p_procs", static_cast<double>(at));
     }
+    json.add(pr.name, "peak_speedup_c", cs);
+    json.add(pr.name, "peak_speedup_c_procs", static_cast<double>(cat));
+    json.add(pr.name, "baseline_cycles", static_cast<double>(bl));
     t.add_row({pr.name, ncell, speedup_cell(cs, cat), pcell,
                std::string("| ") + pr.original, pr.compiler,
                pr.programmer});
   }
   std::printf("%s\n", t.render().c_str());
+  json.write(bo.json_path);
   std::printf(
       "Paper shape to verify: the compiler version achieves the highest\n"
       "maximum speedup for every program, often at a larger processor\n"

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,97 @@
 #include "workloads/workloads.h"
 
 namespace fsopt::benchx {
+
+/// Flags shared by every bench binary:
+///   --threads N   worker threads for replays/sweeps (default: the
+///                 FSOPT_THREADS env var, else hardware concurrency)
+///   --json PATH   also write machine-readable results to PATH
+struct BenchOptions {
+  int threads = 0;
+  std::string json_path;
+};
+
+/// Parse (and remove) the shared flags from argv.  With
+/// `allow_unknown` the remaining flags are left in place for a second
+/// parser (google-benchmark); otherwise an unknown flag is a usage error.
+/// Applies --threads to the process-wide experiment knob.
+inline BenchOptions parse_bench_args(int& argc, char** argv,
+                                     bool allow_unknown = false) {
+  BenchOptions o;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value after %s\n", argv[0],
+                     a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--threads") {
+      o.threads = std::atoi(next());
+    } else if (a == "--json") {
+      o.json_path = next();
+    } else if (!allow_unknown) {
+      std::fprintf(stderr, "usage: %s [--threads N] [--json PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  if (allow_unknown) argc = out;
+  set_experiment_threads(o.threads);
+  return o;
+}
+
+/// Collects per-workload metric values and writes them as JSON:
+///   {"results": [{"workload": ..., "metric": ..., "value": ...}, ...]}
+class JsonReport {
+ public:
+  void add(const std::string& workload, const std::string& metric,
+           double value) {
+    rows_.push_back({workload, metric, value});
+  }
+
+  /// Write to `path`; no-op when path is empty.  Exits with an error
+  /// message if the file cannot be written.
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"results\": [");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"workload\": \"%s\", \"metric\": \"%s\", "
+                      "\"value\": %.17g}",
+                   i > 0 ? "," : "", escape(rows_[i].workload).c_str(),
+                   escape(rows_[i].metric).c_str(), rows_[i].value);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("(json results written to %s)\n", path.c_str());
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  struct Row {
+    std::string workload;
+    std::string metric;
+    double value;
+  };
+  std::vector<Row> rows_;
+};
 
 /// Processor counts used for speedup sweeps (all divide the workload
 /// sizes).  The paper's KSR2 had 56 processors; we sweep to 48.

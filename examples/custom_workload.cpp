@@ -84,7 +84,11 @@ void main(int pid) {
 }
 )PPL";
 
-int main() {
+int main(int argc, char** argv) {
+  // Sweeps honour --threads N (or the FSOPT_THREADS env var).
+  if (argc > 2 && std::string_view(argv[1]) == "--threads")
+    set_experiment_threads(std::atoi(argv[2]));
+
   CompileOptions base;
   CompileOptions optimized;
   optimized.optimize = true;
@@ -94,13 +98,15 @@ int main() {
               c.transforms.render(c.summary).c_str());
 
   i64 bl = baseline_cycles(kSource, base);
+  // Each curve's compile+run jobs fan out across the experiment pool.
+  std::vector<i64> procs = {1, 2, 4, 8, 16, 32};
+  SpeedupCurve n = speedup_sweep(kSource, procs, base, bl);
+  SpeedupCurve t = speedup_sweep(kSource, procs, optimized, bl);
   std::printf("procs  unoptimized  transformed\n");
-  for (i64 p : {1, 2, 4, 8, 16, 32}) {
-    auto tn = compile_and_time(kSource, p, base);
-    auto tc = compile_and_time(kSource, p, optimized);
-    std::printf("%5lld  %10.2fx  %10.2fx\n", static_cast<long long>(p),
-                static_cast<double>(bl) / static_cast<double>(tn.cycles),
-                static_cast<double>(bl) / static_cast<double>(tc.cycles));
+  for (size_t i = 0; i < procs.size(); ++i) {
+    std::printf("%5lld  %10.2fx  %10.2fx\n",
+                static_cast<long long>(procs[i]), n.speedup[i],
+                t.speedup[i]);
   }
   std::printf(
       "\nSpeedups are relative to the uniprocessor run of the unoptimized\n"

@@ -43,7 +43,11 @@ void main(int pid) {
 }
 )PPL";
 
-int main() {
+int main(int argc, char** argv) {
+  // Replays/sweeps honour --threads N (or the FSOPT_THREADS env var).
+  if (argc > 2 && std::string_view(argv[1]) == "--threads")
+    set_experiment_threads(std::atoi(argv[2]));
+
   // 1. Compile unoptimized and optimized versions.
   CompileOptions plain;
   CompileOptions optimized;

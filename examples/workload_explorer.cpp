@@ -25,6 +25,12 @@ static void list_workloads() {
 }
 
 int main(int argc, char** argv) {
+  // Replays/sweeps honour --threads N (or the FSOPT_THREADS env var).
+  if (argc > 2 && std::string(argv[1]) == "--threads") {
+    set_experiment_threads(std::atoi(argv[2]));
+    argc -= 2;
+    argv += 2;
+  }
   if (argc < 2) {
     list_workloads();
     return 0;
@@ -46,9 +52,13 @@ int main(int argc, char** argv) {
   std::printf("--- transformations ---\n%s\n",
               c.transforms.render(c.summary).c_str());
 
+  // Record the unoptimized trace once; the attribution study and the
+  // block-size sweep below both replay it.
+  TraceBuffer nt = record_trace(n);
+
   // Per-datum false-sharing attribution for the unoptimized layout.
   AddressMap am = build_address_map(n);
-  auto st = run_trace_study(n, {128}, 32 * 1024, &am);
+  auto st = replay_trace_study(nt, n, {128}, 32 * 1024, &am);
   std::printf("--- false-sharing attribution (unoptimized, 128B) ---\n");
   for (const auto& [name, s] : st.by_datum.at(128)) {
     if (s.false_sharing == 0) continue;
@@ -57,7 +67,7 @@ int main(int argc, char** argv) {
   }
 
   // Block-size sweep comparison.
-  auto sn = run_trace_study(n, paper_block_sizes());
+  auto sn = replay_trace_study(nt, n, paper_block_sizes());
   auto sc = run_trace_study(c, paper_block_sizes());
   std::printf("\n--- block-size sweep (miss rate, fs rate) ---\n");
   std::printf("block   unoptimized        transformed\n");
@@ -78,18 +88,16 @@ int main(int argc, char** argv) {
   topt.optimize = true;
   std::printf("\n--- scalability (speedup over 1-proc unoptimized) ---\n");
   std::printf("procs   N        C        P\n");
-  for (i64 p : {1, 2, 4, 8, 12, 16, 24, 32, 48}) {
-    double sn2 = 0, sc2 = 0, sp2 = 0;
-    if (w.has_unopt())
-      sn2 = static_cast<double>(bl) /
-            compile_and_time(w.unopt, p, tbase).cycles;
-    sc2 = static_cast<double>(bl) /
-          compile_and_time(w.natural, p, topt).cycles;
-    if (w.has_prog())
-      sp2 = static_cast<double>(bl) /
-            compile_and_time(w.prog, p, tbase).cycles;
+  std::vector<i64> sweep = {1, 2, 4, 8, 12, 16, 24, 32, 48};
+  SpeedupCurve cn, cc, cp;
+  if (w.has_unopt()) cn = speedup_sweep(w.unopt, sweep, tbase, bl);
+  cc = speedup_sweep(w.natural, sweep, topt, bl);
+  if (w.has_prog()) cp = speedup_sweep(w.prog, sweep, tbase, bl);
+  for (size_t i = 0; i < sweep.size(); ++i) {
     std::printf("%5lld  %5.2f    %5.2f    %5.2f\n",
-                static_cast<long long>(p), sn2, sc2, sp2);
+                static_cast<long long>(sweep[i]),
+                w.has_unopt() ? cn.speedup[i] : 0.0, cc.speedup[i],
+                w.has_prog() ? cp.speedup[i] : 0.0);
   }
   return 0;
 }

@@ -1,9 +1,25 @@
 #include "driver/experiment.h"
 
+#include <atomic>
+
 namespace fsopt {
 
 std::vector<i64> paper_block_sizes() { return {4, 8, 16, 32, 64, 128, 256}; }
 std::vector<i64> table2_block_sizes() { return {8, 16, 32, 64, 128, 256}; }
+
+namespace {
+// 0 = auto (FSOPT_THREADS env or hardware concurrency).
+std::atomic<int> g_experiment_threads{0};
+}  // namespace
+
+void set_experiment_threads(int threads) {
+  g_experiment_threads.store(threads < 0 ? 0 : threads);
+}
+
+int experiment_threads() {
+  int n = g_experiment_threads.load();
+  return n > 0 ? n : default_thread_count();
+}
 
 namespace {
 
@@ -60,31 +76,81 @@ AddressMap build_address_map(const Compiled& c) {
   return map;
 }
 
-TraceStudyResult run_trace_study(const Compiled& c,
-                                 const std::vector<i64>& block_sizes,
-                                 i64 l1_bytes,
-                                 const AddressMap* attribution) {
-  MultiSink fan;
-  std::vector<std::unique_ptr<CacheSim>> sims;
-  for (i64 b : block_sizes) {
-    sims.push_back(std::make_unique<CacheSim>(
-        CacheParams{c.nprocs(), l1_bytes, b, c.code.total_bytes},
-        attribution));
-    fan.add(sims.back().get());
+const MissStats& TraceStudyResult::at(i64 block) const {
+  auto it = by_block.find(block);
+  if (it == by_block.end()) {
+    std::string have;
+    for (const auto& [b, stats] : by_block) {
+      if (!have.empty()) have += ", ";
+      have += std::to_string(b);
+    }
+    throw InternalError("block size " + std::to_string(block) +
+                        " was not simulated in this trace study (simulated"
+                        " block sizes: " +
+                        (have.empty() ? "none" : have) + ")");
   }
+  return it->second;
+}
+
+void TraceStudyResult::merge(const TraceStudyResult& other) {
+  if (refs == 0) refs = other.refs;
+  FSOPT_CHECK(other.refs == 0 || other.refs == refs,
+              "merging trace studies of different traces");
+  for (const auto& [block, stats] : other.by_block) {
+    FSOPT_CHECK(by_block.find(block) == by_block.end(),
+                "merging trace studies with overlapping block sizes");
+    by_block[block] = stats;
+  }
+  for (const auto& [block, datum] : other.by_datum)
+    by_datum[block] = datum;
+}
+
+TraceBuffer record_trace(const Compiled& c) {
+  TraceBuffer trace;
   MachineOptions mo;
-  mo.sink = &fan;
+  mo.sink = &trace;
   Machine machine(c.code, mo);
   machine.run();
+  return trace;
+}
+
+TraceStudyResult replay_trace_study(const TraceBuffer& trace,
+                                    const Compiled& c,
+                                    const std::vector<i64>& block_sizes,
+                                    i64 l1_bytes,
+                                    const AddressMap* attribution,
+                                    int threads) {
+  // One independent replay per block size: each job owns its CacheSim and
+  // writes into its own slot, so any interleaving of jobs yields the same
+  // result and the ordered merge below is deterministic.
+  std::vector<std::unique_ptr<CacheSim>> sims(block_sizes.size());
+  if (threads <= 0) threads = experiment_threads();
+  parallel_for_each(threads, block_sizes.size(), [&](size_t i) {
+    sims[i] = std::make_unique<CacheSim>(
+        CacheParams{c.nprocs(), l1_bytes, block_sizes[i],
+                    c.code.total_bytes},
+        attribution);
+    trace.replay(*sims[i]);
+  });
 
   TraceStudyResult out;
-  out.refs = machine.refs();
+  out.refs = trace.size();
   for (size_t i = 0; i < sims.size(); ++i) {
     out.by_block[block_sizes[i]] = sims[i]->stats();
     if (attribution != nullptr)
       out.by_datum[block_sizes[i]] = sims[i]->by_datum();
   }
   return out;
+}
+
+TraceStudyResult run_trace_study(const Compiled& c,
+                                 const std::vector<i64>& block_sizes,
+                                 i64 l1_bytes,
+                                 const AddressMap* attribution,
+                                 int threads) {
+  TraceBuffer trace = record_trace(c);
+  return replay_trace_study(trace, c, block_sizes, l1_bytes, attribution,
+                            threads);
 }
 
 TimingResult run_ksr(const Compiled& c, KsrParams params) {
@@ -125,14 +191,18 @@ std::pair<double, i64> SpeedupCurve::peak() const {
 
 SpeedupCurve speedup_sweep(std::string_view source,
                            const std::vector<i64>& procs,
-                           const CompileOptions& base, i64 base_cycles) {
+                           const CompileOptions& base, i64 base_cycles,
+                           int threads) {
+  // Each processor count is an independent compile+run job.
   SpeedupCurve out;
-  for (i64 p : procs) {
-    TimingResult t = compile_and_time(source, p, base);
-    out.procs.push_back(p);
-    out.speedup.push_back(static_cast<double>(base_cycles) /
-                          static_cast<double>(t.cycles));
-  }
+  out.procs = procs;
+  out.speedup.assign(procs.size(), 0.0);
+  if (threads <= 0) threads = experiment_threads();
+  parallel_for_each(threads, procs.size(), [&](size_t i) {
+    TimingResult t = compile_and_time(source, procs[i], base);
+    out.speedup[i] = static_cast<double>(base_cycles) /
+                     static_cast<double>(t.cycles);
+  });
   return out;
 }
 

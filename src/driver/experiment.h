@@ -1,6 +1,12 @@
-// Experiment harness helpers shared by the benchmarks, tests and examples:
-// run a compiled program through the trace-driven cache study or the
-// KSR2 timing model, and sweep processor counts for speedup curves.
+// Experiment harness shared by the benchmarks, tests and examples.
+//
+// The pipeline is record-once / replay-many: one interpreter run records
+// the reference stream into a TraceBuffer; every cache configuration
+// (block size) then replays that recorded trace into its own CacheSim.
+// Replays are independent, so they fan out across a thread pool — as do
+// the compile+run timing jobs of a processor-count sweep.  Each job owns
+// its simulator and writes into its own result slot, and slots are merged
+// in a fixed order, so results are bit-identical for any thread count.
 #pragma once
 
 #include <map>
@@ -8,6 +14,7 @@
 #include "driver/compiler.h"
 #include "interp/machine.h"
 #include "sim/ksr.h"
+#include "support/thread_pool.h"
 
 namespace fsopt {
 
@@ -16,25 +23,52 @@ std::vector<i64> paper_block_sizes();  // 4..256
 /// Block sizes used for Table 2 averages (8-256).
 std::vector<i64> table2_block_sizes();
 
+/// Process-wide parallelism knob for the harness (replays, sweeps):
+///   0  = auto: FSOPT_THREADS env var if set, else hardware concurrency;
+///   1  = serial;
+///   N  = at most N worker threads.
+/// Results never depend on this — only wall-clock does.
+void set_experiment_threads(int threads);
+int experiment_threads();
+
 struct TraceStudyResult {
   std::map<i64, MissStats> by_block;  // block size -> stats
   /// Per-datum attribution per block size (filled when requested).
   std::map<i64, std::map<std::string, MissStats>> by_datum;
   u64 refs = 0;
-  /// Value convenience accessors.
-  const MissStats& at(i64 block) const { return by_block.at(block); }
+  /// Stats for one simulated block size.  Throws InternalError naming the
+  /// requested and the simulated block sizes when `block` was not part of
+  /// the study.
+  const MissStats& at(i64 block) const;
+  /// Combine with a study of *different* block sizes over the same trace
+  /// (same refs); throws if a block size appears in both.
+  void merge(const TraceStudyResult& other);
 };
 
 /// Address ranges of every global (and indirection heap region) under the
 /// compiled layout, for per-datum miss attribution.
 AddressMap build_address_map(const Compiled& c);
 
-/// Execute once, simulating every requested block size simultaneously
-/// (one CacheSim per block size attached to a fan-out sink).
+/// Execute `c` once in trace mode, recording every shared reference.
+TraceBuffer record_trace(const Compiled& c);
+
+/// Replay a recorded trace against each block size (one CacheSim per
+/// block), fanning the replays across `threads` workers (0 = the
+/// experiment_threads() knob).  `c` only supplies nprocs/total_bytes.
+TraceStudyResult replay_trace_study(const TraceBuffer& trace,
+                                    const Compiled& c,
+                                    const std::vector<i64>& block_sizes,
+                                    i64 l1_bytes = 32 * 1024,
+                                    const AddressMap* attribution = nullptr,
+                                    int threads = 0);
+
+/// record_trace + replay_trace_study: the interpreter executes exactly
+/// once however many block sizes are studied.
 TraceStudyResult run_trace_study(const Compiled& c,
                                  const std::vector<i64>& block_sizes,
                                  i64 l1_bytes = 32 * 1024,
-                                 const AddressMap* attribution = nullptr);
+                                 const AddressMap* attribution = nullptr,
+                                 int threads = 0);
 
 struct TimingResult {
   i64 cycles = 0;
@@ -59,11 +93,13 @@ struct SpeedupCurve {
   std::pair<double, i64> peak() const;
 };
 
-/// Sweep processor counts.  Speedups are relative to `baseline_cycles`
+/// Sweep processor counts, compiling and timing each count as an
+/// independent pool job.  Speedups are relative to `baseline_cycles`
 /// (the paper uses the uniprocessor run of the *unoptimized* version).
 SpeedupCurve speedup_sweep(std::string_view source,
                            const std::vector<i64>& procs,
-                           const CompileOptions& base, i64 baseline_cycles);
+                           const CompileOptions& base, i64 baseline_cycles,
+                           int threads = 0);
 
 /// Uniprocessor cycles of the unoptimized program (the speedup baseline).
 i64 baseline_cycles(std::string_view source, const CompileOptions& base);

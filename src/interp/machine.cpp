@@ -24,6 +24,10 @@ Machine::Machine(const CodeImage& img, const MachineOptions& opt)
       memsys_(opt.memsys != nullptr ? opt.memsys : &uniform_),
       mem_(static_cast<size_t>(img.total_bytes), 0) {
   FSOPT_CHECK(img.main_func >= 0, "code image has no main");
+  if (opt_.sink != nullptr) {
+    FSOPT_CHECK(opt_.sink_batch > 0, "sink_batch must be > 0");
+    stage_.reserve(opt_.sink_batch);
+  }
   procs_.resize(static_cast<size_t>(img.nprocs));
   const FuncInfo& mf = img.funcs[static_cast<size_t>(img.main_func)];
   for (size_t p = 0; p < procs_.size(); ++p) {
@@ -70,11 +74,22 @@ double Machine::load_real(i64 addr) const {
 
 i64 Machine::ref(Proc& p, i64 addr, i64 size, bool is_write) {
   ++refs_;
-  if (opt_.sink != nullptr)
-    opt_.sink->on_ref({addr, static_cast<u8>(size),
-                       static_cast<u8>(p.id),
-                       is_write ? RefType::kWrite : RefType::kRead});
+  if (opt_.sink != nullptr) {
+    // Stage rather than dispatch: one virtual on_batch call per
+    // opt_.sink_batch references instead of one on_ref per reference.
+    // The global scheduler order *is* the trace order, so a single
+    // staging buffer preserves the exact per-reference stream.
+    stage_.push_back({addr, static_cast<u8>(size), static_cast<u8>(p.id),
+                      is_write ? RefType::kWrite : RefType::kRead});
+    if (stage_.size() >= opt_.sink_batch) flush_stage();
+  }
   return memsys_->access(p.id, addr, size, is_write, p.time);
+}
+
+void Machine::flush_stage() {
+  if (stage_.empty() || opt_.sink == nullptr) return;
+  opt_.sink->on_batch(stage_.data(), stage_.size());
+  stage_.clear();
 }
 
 void Machine::exec_sync(Proc& p, const Instr& in) {
@@ -399,6 +414,7 @@ void Machine::run() {
     step(*next);
     if (next->halted) --live;
   }
+  flush_stage();
 }
 
 i64 Machine::finish_cycles() const {

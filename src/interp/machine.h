@@ -19,7 +19,12 @@ struct MachineOptions {
   /// Timing model; null = uniform 2-cycle references (trace mode).
   MemorySystem* memsys = nullptr;
   /// Optional trace sink receiving every shared-memory reference.
+  /// References are staged internally and delivered in batches (in exact
+  /// global emission order); the final partial batch is flushed when run()
+  /// returns, so the sink sees the complete stream only after run().
   TraceSink* sink = nullptr;
+  /// References staged per sink batch.
+  size_t sink_batch = 1024;
   /// Cycles between successive polls of a busy lock / unreleased barrier.
   i64 spin_interval = 50;
   /// Exponential poll backoff cap, as a multiple of spin_interval.
@@ -75,6 +80,7 @@ class Machine {
   void exec_sync(Proc& p, const Instr& in);
   /// Issue one shared-memory reference; returns its latency.
   i64 ref(Proc& p, i64 addr, i64 size, bool is_write);
+  void flush_stage();
   void store_scalar(i64 addr, i64 size, i64 bits);
   i64 load_scalar(i64 addr, i64 size) const;
 
@@ -84,6 +90,7 @@ class Machine {
   MemorySystem* memsys_;
   std::vector<u8> mem_;
   std::vector<Proc> procs_;
+  std::vector<MemRef> stage_;  // staged refs awaiting sink delivery
   u64 instructions_ = 0;
   u64 refs_ = 0;
 };

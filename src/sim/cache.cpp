@@ -2,6 +2,22 @@
 
 namespace fsopt {
 
+void MissStats::merge(const MissStats& other) {
+  refs += other.refs;
+  hits += other.hits;
+  cold += other.cold;
+  replacement += other.replacement;
+  true_sharing += other.true_sharing;
+  false_sharing += other.false_sharing;
+  upgrades += other.upgrades;
+  invalidations += other.invalidations;
+}
+
+void merge_by_datum(std::map<std::string, MissStats>& into,
+                    const std::map<std::string, MissStats>& from) {
+  for (const auto& [name, stats] : from) into[name].merge(stats);
+}
+
 void MissStats::add(const AccessOutcome& o) {
   ++refs;
   invalidations += static_cast<u64>(o.invalidated);

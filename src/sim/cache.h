@@ -101,7 +101,15 @@ struct MissStats {
                     : 0.0;
   }
   void add(const AccessOutcome& o);
+  /// Accumulate another configuration's counters (all fields are additive),
+  /// so stats from independent replays / trace shards can be combined.
+  void merge(const MissStats& other);
+  bool operator==(const MissStats& other) const = default;
 };
+
+/// Merge per-datum attribution maps from independent replays.
+void merge_by_datum(std::map<std::string, MissStats>& into,
+                    const std::map<std::string, MissStats>& from);
 
 /// TraceSink wrapper: feed references, read statistics — optionally
 /// attributed per data structure through an AddressMap.
@@ -110,15 +118,9 @@ class CacheSim : public TraceSink {
   explicit CacheSim(const CacheParams& p, const AddressMap* attribution =
                                               nullptr)
       : cache_(p), attribution_(attribution) {}
-  void on_ref(const MemRef& ref) override {
-    AccessOutcome o =
-        cache_.access(ref.proc, ref.addr, ref.size,
-                      ref.type == RefType::kWrite);
-    stats_.add(o);
-    if (attribution_ != nullptr) {
-      int i = attribution_->index_of(ref.addr);
-      by_datum_[i >= 0 ? attribution_->name_of(i) : "<other>"].add(o);
-    }
+  void on_ref(const MemRef& ref) override { process(ref); }
+  void on_batch(const MemRef* refs, size_t n) override {
+    for (size_t i = 0; i < n; ++i) process(refs[i]);
   }
   const MissStats& stats() const { return stats_; }
   const CacheParams& params() const { return cache_.params(); }
@@ -128,6 +130,16 @@ class CacheSim : public TraceSink {
   }
 
  private:
+  void process(const MemRef& ref) {
+    AccessOutcome o = cache_.access(ref.proc, ref.addr, ref.size,
+                                    ref.type == RefType::kWrite);
+    stats_.add(o);
+    if (attribution_ != nullptr) {
+      int i = attribution_->index_of(ref.addr);
+      by_datum_[i >= 0 ? attribution_->name_of(i) : "<other>"].add(o);
+    }
+  }
+
   CoherentCache cache_;
   const AddressMap* attribution_;
   MissStats stats_;

@@ -1,0 +1,107 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace fsopt {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("FSOPT_THREADS")) {
+    long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<int>(n);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = default_thread_count();
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return queue_.empty() && running_ == 0; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    FSOPT_CHECK(!stop_, "submit on a stopping ThreadPool");
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && running_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --running_;
+      if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for_each(ThreadPool& pool, size_t n,
+                       const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  // One queue entry per worker, each draining a shared atomic counter:
+  // cheaper than n queue entries when n is large, and jobs finish the
+  // moment indices run out.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  int jobs = std::min<int>(pool.size(), static_cast<int>(n));
+  for (int j = 0; j < jobs; ++j) {
+    pool.submit([next, n, &body] {
+      for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1))
+        body(i);
+    });
+  }
+  pool.wait();
+}
+
+void parallel_for_each(int threads, size_t n,
+                       const std::function<void(size_t)>& body) {
+  if (threads <= 0) threads = default_thread_count();
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(std::min<int>(threads, static_cast<int>(n)));
+  parallel_for_each(pool, n, body);
+}
+
+}  // namespace fsopt

@@ -1,0 +1,100 @@
+// Tests for the experiment harness's fixed-size thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+
+#include "support/thread_pool.h"
+
+namespace fsopt {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { ++count; });
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstJobError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw InternalError("job failed"); });
+  EXPECT_THROW(pool.wait(), InternalError);
+  // The pool stays usable after a failed job.
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForEach, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 5}) {
+    std::vector<std::atomic<int>> hits(57);
+    parallel_for_each(threads, hits.size(),
+                      [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+  }
+}
+
+TEST(ParallelForEach, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for_each(16, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForEach, ZeroItemsIsANoop) {
+  parallel_for_each(4, 0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelForEach, SerialPathPropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for_each(1, 3,
+                        [](size_t i) {
+                          if (i == 1) throw InternalError("boom");
+                        }),
+      InternalError);
+}
+
+TEST(ParallelForEach, PooledPathPropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for_each(4, 8,
+                        [](size_t i) {
+                          if (i == 3) throw InternalError("boom");
+                        }),
+      InternalError);
+}
+
+TEST(ParallelForEach, PoolOverloadDrainsSharedCounter) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  parallel_for_each(pool, 41, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 41);
+}
+
+TEST(DefaultThreadCount, HonoursEnvOverride) {
+  ASSERT_EQ(setenv("FSOPT_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_thread_count(), 3);
+  ASSERT_EQ(setenv("FSOPT_THREADS", "bogus", 1), 0);
+  EXPECT_GE(default_thread_count(), 1);  // falls back to hardware
+  ASSERT_EQ(unsetenv("FSOPT_THREADS"), 0);
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace fsopt

@@ -13,6 +13,8 @@
 //   --miss [B,B,...]    trace-driven miss study (default 16,128)
 //   --ksr               execution time under the KSR2 model
 //   --disasm            dump the bytecode
+//   --threads N         worker threads for the miss-study replays
+//                       (default: FSOPT_THREADS env, else all cores)
 //
 // With no action flags, behaves like `--transforms --miss --ksr`.
 #include <cstdio>
@@ -50,7 +52,7 @@ struct Cli {
                "[--block N]\n"
                "              [--no-optimize] [--report] [--transforms]\n"
                "              [--rewrite] [--run] [--miss [B,...]] [--ksr]\n"
-               "              [--disasm]\n");
+               "              [--disasm] [--threads N]\n");
   std::exit(2);
 }
 
@@ -95,6 +97,8 @@ Cli parse_cli(int argc, char** argv) {
       cli.ksr = true;
     } else if (a == "--disasm") {
       cli.disasm = true;
+    } else if (a == "--threads") {
+      set_experiment_threads(std::atoi(next().c_str()));
     } else if (a.rfind("--", 0) == 0) {
       usage(("unknown option " + a).c_str());
     } else if (cli.file.empty()) {
