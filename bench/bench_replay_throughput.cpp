@@ -1,0 +1,240 @@
+// Replay-throughput microbench: how fast does one cache configuration
+// chew through a recorded trace, and how does that scale across trace
+// shards?
+//
+// Three comparisons, all on the same replicated workload trace:
+//   1. flat-state simulator (sim/cache.h) vs. the pre-flattening
+//      hash-map baseline (baseline_cache.h), single thread;
+//   2. the same pair with per-datum attribution enabled (dense slots vs.
+//      the old string-keyed map on every reference);
+//   3. shard scaling: one configuration split across K trace shards
+//      (driver replay_partitioned), K = 1,2,4,8, with the reusable
+//      partitioning pass timed separately.
+// Every timed replay is cross-checked against the others — the bench
+// fails loudly if any pair of implementations disagrees on a single
+// counter.
+//
+// Extra flags (on top of the shared --threads/--json):
+//   --workload NAME   trace source (default fmm)
+//   --block N         block size for the shard-scaling sweep (default 64)
+//   --target-refs N   replicate the recorded trace to at least N refs
+//                     (default 4000000)
+//   --repeats N       best-of-N timing (default 3)
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <thread>
+
+#include "baseline_cache.h"
+#include "bench_util.h"
+
+using namespace fsopt;
+using namespace fsopt::benchx;
+
+namespace {
+
+double time_once(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double best_of(int n, const std::function<void()>& fn) {
+  double best = time_once(fn);
+  for (int i = 1; i < n; ++i) best = std::min(best, time_once(fn));
+  return best;
+}
+
+[[noreturn]] void mismatch(const char* what, i64 block) {
+  std::fprintf(stderr,
+               "bench_replay_throughput: %s disagree at block size %lld — "
+               "the implementations are supposed to be bit-identical\n",
+               what, static_cast<long long>(block));
+  std::exit(1);
+}
+
+std::string human(double refs_per_sec) {
+  return fixed(refs_per_sec / 1e6, 1) + " Mref/s";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions bo = parse_bench_args(argc, argv, /*allow_unknown=*/true);
+  std::string workload = "fmm";
+  i64 scale_block = 64;
+  u64 target_refs = 4'000'000;
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value after %s\n", argv[0],
+                     a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--workload") {
+      workload = next();
+    } else if (a == "--block") {
+      scale_block = std::atoll(next());
+    } else if (a == "--target-refs") {
+      target_refs = static_cast<u64>(std::atoll(next()));
+    } else if (a == "--repeats") {
+      repeats = std::atoi(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--json PATH] [--workload NAME]"
+                   " [--block N] [--target-refs N] [--repeats N]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+
+  const auto& w = workloads::get(workload);
+  Compiled c =
+      compile_source(w.unopt, options_for(w, w.fig3_procs, false, false));
+  AddressMap amap = build_address_map(c);
+  TraceBuffer base = record_trace(c);
+
+  // Replicate the recorded stream until it is big enough that per-replay
+  // timing noise is small; state carries across repetitions, which is
+  // fine — every implementation sees the identical stream.
+  TraceBuffer trace;
+  do {
+    base.replay(trace);
+  } while (trace.size() < target_refs);
+  double refs = static_cast<double>(trace.size());
+
+  std::printf("=== Replay throughput: %s, %llu refs (x%llu), best of %d"
+              " ===\n\n",
+              workload.c_str(), static_cast<unsigned long long>(trace.size()),
+              static_cast<unsigned long long>(trace.size() / base.size()),
+              repeats);
+
+  // Scaling numbers are only interpretable against the cores actually
+  // available: K shards on an N<K-core machine can at best tie the
+  // N-shard wall clock, so the efficiency metric below normalises by
+  // min(K, cpus).
+  int cpus = std::max(1u, std::thread::hardware_concurrency());
+
+  JsonReport json;
+  json.add(workload, "refs", refs);
+  json.add(workload, "cpus", static_cast<double>(cpus));
+
+  // --- 1+2: serial flat vs. hash, plain and attributed ----------------
+  TextTable serial({"block", "hash", "flat", "speedup", "hash+attr",
+                    "flat+attr", "speedup"});
+  double log_speedup_sum = 0, log_attr_speedup_sum = 0;
+  int speedup_count = 0;
+  for (i64 block : paper_block_sizes()) {
+    CacheParams p{c.nprocs(), 32 * 1024, block, c.code.total_bytes};
+    std::string blk = std::to_string(block);
+
+    MissStats hash_stats, flat_stats;
+    double t_hash = best_of(repeats, [&] {
+      benchx::baseline::HashCacheSim sim(p);
+      trace.replay(sim);
+      hash_stats = sim.stats();
+    });
+    double t_flat = best_of(repeats, [&] {
+      CacheSim sim(p);
+      trace.replay(sim);
+      flat_stats = sim.stats();
+    });
+    if (hash_stats != flat_stats) mismatch("hash and flat stats", block);
+
+    std::map<std::string, MissStats> hash_datum, flat_datum;
+    double t_hash_a = best_of(repeats, [&] {
+      benchx::baseline::HashCacheSim sim(p, &amap);
+      trace.replay(sim);
+      hash_datum = sim.by_datum();
+    });
+    double t_flat_a = best_of(repeats, [&] {
+      CacheSim sim(p, &amap);
+      trace.replay(sim);
+      flat_datum = sim.by_datum();
+    });
+    if (hash_datum != flat_datum)
+      mismatch("hash and flat per-datum attribution", block);
+
+    serial.add_row({blk, human(refs / t_hash), human(refs / t_flat),
+                    fixed(t_hash / t_flat, 2) + "x",
+                    human(refs / t_hash_a), human(refs / t_flat_a),
+                    fixed(t_hash_a / t_flat_a, 2) + "x"});
+    json.add(workload, "hash_refs_per_sec_b" + blk, refs / t_hash);
+    json.add(workload, "flat_refs_per_sec_b" + blk, refs / t_flat);
+    json.add(workload, "flat_speedup_b" + blk, t_hash / t_flat);
+    json.add(workload, "hash_attr_refs_per_sec_b" + blk, refs / t_hash_a);
+    json.add(workload, "flat_attr_refs_per_sec_b" + blk, refs / t_flat_a);
+    json.add(workload, "flat_attr_speedup_b" + blk, t_hash_a / t_flat_a);
+    log_speedup_sum += std::log(t_hash / t_flat);
+    log_attr_speedup_sum += std::log(t_hash_a / t_flat_a);
+    ++speedup_count;
+  }
+  double geomean = std::exp(log_speedup_sum / speedup_count);
+  double geomean_attr = std::exp(log_attr_speedup_sum / speedup_count);
+  serial.add_row({"geomean", "", "", fixed(geomean, 2) + "x", "", "",
+                  fixed(geomean_attr, 2) + "x"});
+  json.add(workload, "flat_speedup_geomean", geomean);
+  json.add(workload, "flat_attr_speedup_geomean", geomean_attr);
+  std::printf("--- serial: flat-state vs hash-map baseline ---\n%s\n",
+              serial.render().c_str());
+
+  // --- 3: shard scaling at one block size ------------------------------
+  // The partition is a reusable record-once artifact (it depends only on
+  // block size and shard count), so it is timed separately from the
+  // parallel replay it feeds.
+  CacheParams sp{c.nprocs(), 32 * 1024, scale_block, c.code.total_bytes};
+  std::string sblk = std::to_string(scale_block);
+
+  MissStats serial_stats;
+  double t1 = best_of(repeats, [&] {
+    CacheSim sim(sp);
+    trace.replay(sim);
+    serial_stats = sim.stats();
+  });
+
+  TextTable scaling({"shards", "partition", "replay", "refs/s", "scaling",
+                     "efficiency"});
+  scaling.add_row({"1", "-", fixed(t1, 3) + "s", human(refs / t1), "1.00x",
+                   "1.00"});
+  json.add(workload, "shard1_refs_per_sec_b" + sblk, refs / t1);
+  for (int k : {2, 4, 8}) {
+    int eff = effective_shard_count(k, sp);
+    if (eff != k) {
+      std::printf("(skipping %d shards: clamped to %d for this config)\n",
+                  k, eff);
+      continue;
+    }
+    double t_part = 0;
+    TracePartition part;
+    t_part = time_once(
+        [&] { part = partition_trace(trace, scale_block, k); });
+    ShardedReplayResult r;
+    double t_replay = best_of(
+        repeats, [&] { r = replay_partitioned(part, sp, nullptr, k); });
+    if (r.stats != serial_stats)
+      mismatch("serial and sharded stats", scale_block);
+    std::string ks = std::to_string(k);
+    double speedup = t1 / t_replay;
+    double efficiency = speedup / std::min(k, cpus);
+    scaling.add_row({ks, fixed(t_part, 3) + "s", fixed(t_replay, 3) + "s",
+                     human(refs / t_replay), fixed(speedup, 2) + "x",
+                     fixed(efficiency, 2)});
+    json.add(workload, "shard" + ks + "_refs_per_sec_b" + sblk,
+             refs / t_replay);
+    json.add(workload, "shard" + ks + "_scaling_b" + sblk, speedup);
+    json.add(workload, "shard" + ks + "_efficiency_b" + sblk, efficiency);
+    json.add(workload, "partition_sec_shard" + ks + "_b" + sblk, t_part);
+  }
+  std::printf("--- shard scaling at block %s (replay phase, %d cpu%s) ---\n"
+              "%s\n",
+              sblk.c_str(), cpus, cpus == 1 ? "" : "s",
+              scaling.render().c_str());
+
+  json.write(bo.json_path);
+  return 0;
+}

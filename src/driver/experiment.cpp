@@ -1,6 +1,8 @@
 #include "driver/experiment.h"
 
+#include <array>
 #include <atomic>
+#include <memory>
 
 namespace fsopt {
 
@@ -114,31 +116,225 @@ TraceBuffer record_trace(const Compiled& c) {
   return trace;
 }
 
+namespace {
+
+/// Traces below this size replay faster than they partition; auto
+/// sharding leaves them alone.
+constexpr u64 kAutoShardMinRefs = u64{1} << 16;
+/// Auto sharding never splits one configuration further than this (the
+/// partition of each sharded configuration holds a copy of the trace).
+constexpr int kAutoShardMax = 8;
+
+/// What one shard of one configuration produces: its own counters plus
+/// the outcomes of split-reference pieces, tagged for reassembly.
+struct ShardJobResult {
+  MissStats stats;
+  std::vector<MissStats> datum;  // dense per-datum slots, or empty
+  struct SplitOutcome {
+    u32 ordinal = 0;
+    u8 part = 0;
+    AccessOutcome out;
+  };
+  std::vector<SplitOutcome> splits;
+};
+
+/// Replay shard `k` of `part` through its own sharded CoherentCache.
+/// Normal references count into the shard's stats; split pieces only
+/// record their outcome (the combined reference is counted once, at
+/// reassembly, exactly as the unsharded simulator counts it inline).
+#if defined(__GNUC__)
+// Like CacheSim::on_batch: inline the whole access chain into the replay
+// loop — the per-reference path is the entire cost of a shard replay.
+__attribute__((flatten))
+#endif
+ShardJobResult
+replay_one_shard(const TracePartition& part, int k,
+                 const CacheParams& params,
+                 const AddressMap* attribution) {
+  ShardJobResult r;
+  if (attribution != nullptr)
+    r.datum.assign(attribution->ranges().size() + 1, MissStats{});
+  CoherentCache cache(params, ShardSpec{k, part.shards});
+  const TraceShard& sh = part.shard[static_cast<size_t>(k)];
+  size_t si = 0;
+  for (u64 pos = 0; pos <= sh.refs.size(); ++pos) {
+    while (si < sh.splits.size() && sh.splits[si].pos == pos) {
+      const TraceShard::SplitPart& sp = sh.splits[si++];
+      AccessOutcome o = cache.access(sp.sub.proc, sp.sub.addr, sp.sub.size,
+                                     sp.sub.type == RefType::kWrite);
+      r.splits.push_back({sp.ordinal, sp.part, o});
+    }
+    if (pos == sh.refs.size()) break;
+    const MemRef& ref = sh.refs[static_cast<size_t>(pos)];
+    AccessOutcome o = cache.access(ref.proc, ref.addr, ref.size,
+                                   ref.type == RefType::kWrite);
+    r.stats.add(o);
+    if (attribution != nullptr) {
+      int i = attribution->index_of(ref.addr);
+      r.datum[i >= 0 ? static_cast<size_t>(i) : r.datum.size() - 1].add(o);
+    }
+  }
+  return r;
+}
+
+/// Sum the per-shard counters (additive, so any order is exact) and
+/// reassemble split references in ordinal order.
+void combine_shards(const TracePartition& part,
+                    const ShardJobResult* shards, size_t nshards,
+                    const AddressMap* attribution, MissStats& stats,
+                    std::vector<MissStats>& datum) {
+  if (attribution != nullptr)
+    datum.assign(attribution->ranges().size() + 1, MissStats{});
+  for (size_t k = 0; k < nshards; ++k) {
+    const ShardJobResult& s = shards[k];
+    stats.merge(s.stats);
+    for (size_t i = 0; i < s.datum.size(); ++i) datum[i].merge(s.datum[i]);
+  }
+  if (part.split_origin.empty()) return;
+  // Gather every piece of each spanning reference; `part` indices arrive
+  // in block order, which is the order access() merges inline.
+  std::vector<std::array<AccessOutcome, 4>> pieces(part.split_origin.size());
+  std::vector<u8> counts(part.split_origin.size(), 0);
+  for (size_t k = 0; k < nshards; ++k) {
+    for (const ShardJobResult::SplitOutcome& so : shards[k].splits) {
+      FSOPT_CHECK(so.part < 4, "split reference with too many pieces");
+      pieces[so.ordinal][so.part] = so.out;
+      ++counts[so.ordinal];
+    }
+  }
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    AccessOutcome o = combine_split_outcomes(pieces[i].data(), counts[i]);
+    stats.add(o);
+    if (attribution != nullptr) {
+      int d = attribution->index_of(part.split_origin[i].addr);
+      datum[d >= 0 ? static_cast<size_t>(d) : datum.size() - 1].add(o);
+    }
+  }
+}
+
+}  // namespace
+
+ShardedReplayResult replay_partitioned(const TracePartition& part,
+                                       const CacheParams& params,
+                                       const AddressMap* attribution,
+                                       int threads) {
+  FSOPT_CHECK(params.block_size == part.block_size,
+              "partition was built for a different block size");
+  FSOPT_CHECK(effective_shard_count(part.shards, params) == part.shards,
+              "partition shard count does not divide the set count");
+  if (threads <= 0) threads = experiment_threads();
+  ShardedReplayResult out;
+  out.shards = part.shards;
+  std::vector<ShardJobResult> results(static_cast<size_t>(part.shards));
+  parallel_for_each(threads, results.size(), [&](size_t k) {
+    results[k] = replay_one_shard(part, static_cast<int>(k), params,
+                                  attribution);
+  });
+  std::vector<MissStats> datum;
+  combine_shards(part, results.data(), results.size(), attribution,
+                 out.stats, datum);
+  if (attribution != nullptr)
+    out.by_datum = materialize_by_datum(*attribution, datum);
+  return out;
+}
+
+ShardedReplayResult replay_trace_sharded(const TraceBuffer& trace,
+                                         const CacheParams& params,
+                                         int shards,
+                                         const AddressMap* attribution,
+                                         int threads) {
+  int k = effective_shard_count(shards, params);
+  if (k == 1) {
+    ShardedReplayResult out;
+    out.shards = 1;
+    CacheSim sim(params, attribution);
+    trace.replay(sim);
+    out.stats = sim.stats();
+    out.by_datum = sim.by_datum();
+    return out;
+  }
+  TracePartition part = partition_trace(trace, params.block_size, k);
+  return replay_partitioned(part, params, attribution, threads);
+}
+
 TraceStudyResult replay_trace_study(const TraceBuffer& trace,
                                     const Compiled& c,
                                     const std::vector<i64>& block_sizes,
                                     i64 l1_bytes,
                                     const AddressMap* attribution,
-                                    int threads) {
-  // One independent replay per block size: each job owns its CacheSim and
-  // writes into its own slot, so any interleaving of jobs yields the same
-  // result and the ordered merge below is deterministic.
-  std::vector<std::unique_ptr<CacheSim>> sims(block_sizes.size());
+                                    int threads, int shards) {
   if (threads <= 0) threads = experiment_threads();
-  parallel_for_each(threads, block_sizes.size(), [&](size_t i) {
-    sims[i] = std::make_unique<CacheSim>(
-        CacheParams{c.nprocs(), l1_bytes, block_sizes[i],
-                    c.code.total_bytes},
-        attribution);
-    trace.replay(*sims[i]);
-  });
+  size_t nconf = block_sizes.size();
+  std::vector<CacheParams> params(nconf);
+  for (size_t i = 0; i < nconf; ++i)
+    params[i] = CacheParams{c.nprocs(), l1_bytes, block_sizes[i],
+                            c.code.total_bytes};
+
+  // Shard budget: the cross-config fan-out claims one worker per
+  // configuration; an explicit `shards` overrides, otherwise whatever of
+  // the thread budget is left over splits each configuration's replay.
+  int requested = shards;
+  if (requested == 0) {
+    requested = nconf > 0 && trace.size() >= kAutoShardMinRefs
+                    ? static_cast<int>(std::min<size_t>(
+                          kAutoShardMax,
+                          static_cast<size_t>(threads) / nconf))
+                    : 1;
+  }
+  std::vector<int> shard_count(nconf, 1);
+  bool any_sharded = false;
+  for (size_t i = 0; i < nconf; ++i) {
+    shard_count[i] = effective_shard_count(requested, params[i]);
+    any_sharded = any_sharded || shard_count[i] > 1;
+  }
 
   TraceStudyResult out;
   out.refs = trace.size();
-  for (size_t i = 0; i < sims.size(); ++i) {
-    out.by_block[block_sizes[i]] = sims[i]->stats();
+
+  if (!any_sharded) {
+    // One independent replay per block size: each job owns its CacheSim
+    // and writes into its own slot, so any interleaving of jobs yields
+    // the same result and the ordered merge below is deterministic.
+    std::vector<std::unique_ptr<CacheSim>> sims(nconf);
+    parallel_for_each(threads, nconf, [&](size_t i) {
+      sims[i] = std::make_unique<CacheSim>(params[i], attribution);
+      trace.replay(*sims[i]);
+    });
+    for (size_t i = 0; i < sims.size(); ++i) {
+      out.by_block[block_sizes[i]] = sims[i]->stats();
+      if (attribution != nullptr)
+        out.by_datum[block_sizes[i]] = sims[i]->by_datum();
+    }
+    return out;
+  }
+
+  // Two parallel phases over one flattened job list, so configurations
+  // and shards share the thread budget instead of nesting pools:
+  // first every configuration partitions the trace, then every
+  // (configuration, shard) pair replays into its own slot.
+  std::vector<TracePartition> parts(nconf);
+  parallel_for_each(threads, nconf, [&](size_t i) {
+    parts[i] = partition_trace(trace, block_sizes[i], shard_count[i]);
+  });
+  std::vector<size_t> offset(nconf + 1, 0);
+  for (size_t i = 0; i < nconf; ++i)
+    offset[i + 1] = offset[i] + static_cast<size_t>(shard_count[i]);
+  std::vector<ShardJobResult> results(offset[nconf]);
+  parallel_for_each(threads, results.size(), [&](size_t j) {
+    size_t i = 0;
+    while (offset[i + 1] <= j) ++i;
+    results[j] = replay_one_shard(parts[i], static_cast<int>(j - offset[i]),
+                                  params[i], attribution);
+  });
+  for (size_t i = 0; i < nconf; ++i) {
+    MissStats stats;
+    std::vector<MissStats> datum;
+    combine_shards(parts[i], results.data() + offset[i],
+                   offset[i + 1] - offset[i], attribution, stats, datum);
+    out.by_block[block_sizes[i]] = stats;
     if (attribution != nullptr)
-      out.by_datum[block_sizes[i]] = sims[i]->by_datum();
+      out.by_datum[block_sizes[i]] = materialize_by_datum(*attribution,
+                                                          datum);
   }
   return out;
 }
@@ -147,10 +343,10 @@ TraceStudyResult run_trace_study(const Compiled& c,
                                  const std::vector<i64>& block_sizes,
                                  i64 l1_bytes,
                                  const AddressMap* attribution,
-                                 int threads) {
+                                 int threads, int shards) {
   TraceBuffer trace = record_trace(c);
   return replay_trace_study(trace, c, block_sizes, l1_bytes, attribution,
-                            threads);
+                            threads, shards);
 }
 
 TimingResult run_ksr(const Compiled& c, KsrParams params) {

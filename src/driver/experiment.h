@@ -2,11 +2,14 @@
 //
 // The pipeline is record-once / replay-many: one interpreter run records
 // the reference stream into a TraceBuffer; every cache configuration
-// (block size) then replays that recorded trace into its own CacheSim.
+// (block size) then replays that recorded trace into its own simulator.
 // Replays are independent, so they fan out across a thread pool — as do
-// the compile+run timing jobs of a processor-count sweep.  Each job owns
-// its simulator and writes into its own result slot, and slots are merged
-// in a fixed order, so results are bit-identical for any thread count.
+// the compile+run timing jobs of a processor-count sweep.  On top of the
+// cross-configuration fan-out, each configuration's replay can itself be
+// split into trace shards (trace/shard.h) that replay concurrently; the
+// two levels share one thread budget.  Each job owns its simulator and
+// writes into its own result slot, and slots are merged in a fixed order,
+// so results are bit-identical for any thread count and any shard count.
 #pragma once
 
 #include <map>
@@ -15,6 +18,7 @@
 #include "interp/machine.h"
 #include "sim/ksr.h"
 #include "support/thread_pool.h"
+#include "trace/shard.h"
 
 namespace fsopt {
 
@@ -52,15 +56,23 @@ AddressMap build_address_map(const Compiled& c);
 /// Execute `c` once in trace mode, recording every shared reference.
 TraceBuffer record_trace(const Compiled& c);
 
-/// Replay a recorded trace against each block size (one CacheSim per
-/// block), fanning the replays across `threads` workers (0 = the
-/// experiment_threads() knob).  `c` only supplies nprocs/total_bytes.
+/// Replay a recorded trace against each block size, fanning the replays
+/// across `threads` workers (0 = the experiment_threads() knob).  `c`
+/// only supplies nprocs/total_bytes.
+///
+/// `shards` splits *each* configuration's replay into that many
+/// concurrent trace shards (trace/shard.h) on top of the cross-config
+/// fan-out; the per-config count is clamped with effective_shard_count.
+/// 1 disables sharding; 0 (auto) spends whatever of the thread budget the
+/// cross-config fan-out leaves idle, and skips sharding for small traces
+/// where partitioning would cost more than it buys.  Results are
+/// bit-identical for every thread and shard count.
 TraceStudyResult replay_trace_study(const TraceBuffer& trace,
                                     const Compiled& c,
                                     const std::vector<i64>& block_sizes,
                                     i64 l1_bytes = 32 * 1024,
                                     const AddressMap* attribution = nullptr,
-                                    int threads = 0);
+                                    int threads = 0, int shards = 0);
 
 /// record_trace + replay_trace_study: the interpreter executes exactly
 /// once however many block sizes are studied.
@@ -68,7 +80,39 @@ TraceStudyResult run_trace_study(const Compiled& c,
                                  const std::vector<i64>& block_sizes,
                                  i64 l1_bytes = 32 * 1024,
                                  const AddressMap* attribution = nullptr,
-                                 int threads = 0);
+                                 int threads = 0, int shards = 0);
+
+/// Result of one sharded single-configuration replay.
+struct ShardedReplayResult {
+  MissStats stats;
+  /// Per-datum attribution (empty unless an AddressMap was supplied).
+  std::map<std::string, MissStats> by_datum;
+  /// The shard count actually used (effective_shard_count of the request).
+  int shards = 1;
+};
+
+/// Replay one cache configuration across `shards` concurrent trace
+/// shards (clamped by effective_shard_count; 1 replays serially without
+/// partitioning).  Bit-identical to an unsharded CacheSim replay for
+/// every shard count — the shard-determinism ctest enforces this.
+ShardedReplayResult replay_trace_sharded(const TraceBuffer& trace,
+                                         const CacheParams& params,
+                                         int shards,
+                                         const AddressMap* attribution =
+                                             nullptr,
+                                         int threads = 0);
+
+/// Replay an already-partitioned trace (partition_trace).  The partition
+/// depends only on (block size, shard count), so it can be built once and
+/// replayed many times — e.g. against different associativities, or
+/// repeatedly in the throughput microbench.  `params` must agree with the
+/// partition's block size, and the partition's shard count must be valid
+/// for `params` (effective_shard_count).
+ShardedReplayResult replay_partitioned(const TracePartition& part,
+                                       const CacheParams& params,
+                                       const AddressMap* attribution =
+                                           nullptr,
+                                       int threads = 0);
 
 struct TimingResult {
   i64 cycles = 0;

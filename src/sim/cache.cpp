@@ -1,5 +1,7 @@
 #include "sim/cache.h"
 
+#include <bit>
+
 namespace fsopt {
 
 void MissStats::merge(const MissStats& other) {
@@ -18,188 +20,68 @@ void merge_by_datum(std::map<std::string, MissStats>& into,
   for (const auto& [name, stats] : from) into[name].merge(stats);
 }
 
-void MissStats::add(const AccessOutcome& o) {
-  ++refs;
-  invalidations += static_cast<u64>(o.invalidated);
-  if (o.upgrade) ++upgrades;
-  switch (o.kind) {
-    case MissKind::kHit: ++hits; break;
-    case MissKind::kCold: ++cold; break;
-    case MissKind::kReplacement: ++replacement; break;
-    case MissKind::kTrueSharing: ++true_sharing; break;
-    case MissKind::kFalseSharing: ++false_sharing; break;
+std::map<std::string, MissStats> materialize_by_datum(
+    const AddressMap& map, const std::vector<MissStats>& dense) {
+  static const std::string kOther = "<other>";
+  std::map<std::string, MissStats> out;
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i].refs == 0) continue;
+    const std::string& name =
+        i < map.ranges().size() ? map.name_of(static_cast<int>(i)) : kOther;
+    out[name].merge(dense[i]);
   }
+  return out;
 }
 
-CoherentCache::CoherentCache(const CacheParams& p)
+i64 CoherentCache::set_count(const CacheParams& p) {
+  return p.cache_bytes / p.block_size / std::max<i64>(p.associativity, 1);
+}
+
+int effective_shard_count(int requested, const CacheParams& p) {
+  i64 sets = CoherentCache::set_count(p);
+  if (requested < 1) requested = 1;
+  if (requested > sets) requested = static_cast<int>(sets);
+  while (requested > 1 && sets % requested != 0) --requested;
+  return requested;
+}
+
+CoherentCache::CoherentCache(const CacheParams& p, ShardSpec shard)
     : params_(p),
-      sets_(p.cache_bytes / p.block_size / std::max<i64>(p.associativity, 1)),
-      classifier_(p.nprocs, p.block_size,
-                  std::max<i64>(p.total_bytes, p.block_size)) {
+      shard_(shard),
+      sets_(set_count(p) / std::max(shard.count, 1)),
+      block_shift_(pow2_shift(p.block_size)),
+      shard_shift_(pow2_shift(shard.count)),
+      set_mask_(is_pow2(sets_) ? sets_ - 1 : -1),
+      blocks_total_(
+          (std::max(p.total_bytes, p.block_size) + p.block_size - 1) /
+          p.block_size),
+      total_span_(blocks_total_ * p.block_size),
+      classifier_(p.nprocs, p.block_size, p.total_bytes, shard) {
   FSOPT_CHECK(params_.associativity >= 1, "associativity must be >= 1");
-  FSOPT_CHECK(sets_ > 0, "cache must hold at least one set");
+  FSOPT_CHECK(shard_.count >= 1 && shard_.index >= 0 &&
+                  shard_.index < shard_.count,
+              "bad shard spec");
+  FSOPT_CHECK(set_count(p) % shard_.count == 0,
+              "shard count must divide the set count"
+              " (use effective_shard_count)");
+  FSOPT_CHECK(sets_ > 0, "cache must hold at least one set per shard");
   FSOPT_CHECK(p.nprocs >= 1 && p.nprocs <= 64, "1..64 processors");
-  caches_.assign(
-      static_cast<size_t>(p.nprocs),
-      std::vector<Line>(static_cast<size_t>(sets_ * p.associativity)));
+  FSOPT_CHECK(blocks_total_ < (i64{1} << 31),
+              "address space too large: block numbers must fit 32 bits"
+              " (Line::block is packed)");
+  lines_.assign(static_cast<size_t>(p.nprocs * sets_ * p.associativity),
+                Line{});
+  i64 local_blocks =
+      shard_.index < blocks_total_
+          ? (blocks_total_ - shard_.index + shard_.count - 1) / shard_.count
+          : 0;
+  dir_.assign(static_cast<size_t>(local_blocks), DirEntry{});
   if (p.word_invalidate) classifier_.enable_word_tracking();
 }
 
-CoherentCache::Line* CoherentCache::find_line(int proc, i64 block) {
-  i64 set = block % sets_;
-  auto& ways = caches_[static_cast<size_t>(proc)];
-  for (i64 w = 0; w < params_.associativity; ++w) {
-    Line& l = ways[static_cast<size_t>(set * params_.associativity + w)];
-    if (l.block == block && l.state != LineState::kInvalid) return &l;
-  }
-  return nullptr;
-}
-
-CoherentCache::Line& CoherentCache::victim_line(int proc, i64 block) {
-  i64 set = block % sets_;
-  auto& ways = caches_[static_cast<size_t>(proc)];
-  Line* victim = nullptr;
-  for (i64 w = 0; w < params_.associativity; ++w) {
-    Line& l = ways[static_cast<size_t>(set * params_.associativity + w)];
-    if (l.state == LineState::kInvalid) return l;  // free way
-    if (victim == nullptr || l.lru < victim->lru) victim = &l;
-  }
-  return *victim;
-}
-
-void CoherentCache::drop_from_dir(i64 block, int proc) {
-  auto it = dir_.find(block);
-  if (it == dir_.end()) return;
-  it->second.sharers &= ~(1ULL << proc);
-  if (it->second.owner == proc) it->second.owner = -1;
-  if (it->second.sharers == 0) dir_.erase(it);
-}
-
-int CoherentCache::invalidate_remote(int proc, i64 block) {
-  if (params_.word_invalidate) return 0;  // sub-block hardware: no block
-                                          // invalidations (§6, Dubois)
-  int invalidated = 0;
-  DirEntry& d = dir_[block];
-  for (i64 q = 0; q < params_.nprocs; ++q) {
-    if (q == proc || (d.sharers >> q & 1) == 0) continue;
-    Line* rl = find_line(static_cast<int>(q), block);
-    if (rl != nullptr) {
-      rl->state = LineState::kInvalid;
-      ++invalidated;
-    }
-  }
-  d.sharers = 1ULL << proc;
-  d.owner = proc;
-  return invalidated;
-}
-
-AccessOutcome CoherentCache::access(int proc, i64 addr, i64 size,
-                                    bool is_write) {
-  i64 first_block = addr / params_.block_size;
-  i64 last_block = (addr + size - 1) / params_.block_size;
-  if (first_block == last_block)
-    return access_block(proc, addr, size, is_write);
-  // Split across blocks (only possible for 8-byte data with tiny blocks).
-  AccessOutcome worst;
-  for (i64 b = first_block; b <= last_block; ++b) {
-    i64 lo = std::max(addr, b * params_.block_size);
-    i64 hi = std::min(addr + size, (b + 1) * params_.block_size);
-    AccessOutcome o = access_block(proc, lo, hi - lo, is_write);
-    worst.invalidated += o.invalidated;
-    worst.upgrade = worst.upgrade || o.upgrade;
-    if (static_cast<int>(o.kind) > static_cast<int>(worst.kind))
-      worst.kind = o.kind;
-    if (o.source_proc >= 0) worst.source_proc = o.source_proc;
-  }
-  return worst;
-}
-
-AccessOutcome CoherentCache::access_block(int proc, i64 addr, i64 size,
-                                          bool is_write) {
-  i64 block = addr / params_.block_size;
-  Line* resident = find_line(proc, block);
-  ++tick_;
-
-  AccessOutcome out;
-
-  if (params_.word_invalidate) {
-    // Sub-block invalidation ablation: a resident block still misses when
-    // the specific words referenced were remotely written (their valid
-    // bits are off); nothing else in the block is disturbed.
-    if (resident != nullptr) {
-      resident->lru = tick_;
-      out.kind = classifier_.words_valid(proc, addr, size)
-                     ? MissKind::kHit
-                     : MissKind::kTrueSharing;  // word refetch
-      classifier_.note_access(proc, addr, size, is_write);
-      return out;
-    }
-    out.kind = classifier_.classify_miss(proc, addr, size);
-    Line& line = victim_line(proc, block);
-    if (line.block >= 0 && line.state != LineState::kInvalid)
-      drop_from_dir(line.block, proc);
-    DirEntry& d = dir_[block];
-    d.sharers |= 1ULL << proc;
-    line.block = block;
-    line.state = LineState::kShared;
-    line.lru = tick_;
-    classifier_.note_access(proc, addr, size, is_write);
-    return out;
-  }
-
-  if (resident != nullptr &&
-      (!is_write || resident->state == LineState::kModified)) {
-    // Plain hit.
-    resident->lru = tick_;
-    out.kind = MissKind::kHit;
-    classifier_.note_access(proc, addr, size, is_write);
-    return out;
-  }
-
-  if (resident != nullptr && is_write &&
-      resident->state == LineState::kShared) {
-    // Upgrade: invalidate all other copies; no data transfer.
-    out.kind = MissKind::kHit;
-    out.upgrade = true;
-    out.invalidated = invalidate_remote(proc, block);
-    resident->state = LineState::kModified;
-    resident->lru = tick_;
-    classifier_.note_access(proc, addr, size, is_write);
-    return out;
-  }
-
-  // Miss.
-  out.kind = classifier_.classify_miss(proc, addr, size);
-
-  Line& line = victim_line(proc, block);
-  if (line.block >= 0 && line.state != LineState::kInvalid)
-    drop_from_dir(line.block, proc);
-
-  DirEntry& d = dir_[block];
-  if (d.owner >= 0 && d.owner != proc) out.source_proc = d.owner;
-
-  if (is_write) {
-    out.invalidated = invalidate_remote(proc, block);
-    DirEntry& d2 = dir_[block];
-    d2.sharers = 1ULL << proc;
-    d2.owner = proc;
-    line.block = block;
-    line.state = LineState::kModified;
-  } else {
-    if (d.owner >= 0 && d.owner != proc) {
-      // Downgrade the remote Modified copy to Shared.
-      Line* rl = find_line(d.owner, block);
-      if (rl != nullptr && rl->state == LineState::kModified)
-        rl->state = LineState::kShared;
-      d.owner = -1;
-    }
-    d.sharers |= 1ULL << proc;
-    line.block = block;
-    line.state = LineState::kShared;
-  }
-  line.lru = tick_;
-  classifier_.note_access(proc, addr, size, is_write);
-  return out;
+std::map<std::string, MissStats> CacheSim::by_datum() const {
+  if (attribution_ == nullptr) return {};
+  return materialize_by_datum(*attribution_, datum_stats_);
 }
 
 }  // namespace fsopt

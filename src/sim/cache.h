@@ -1,11 +1,21 @@
 // Multiprocessor cache simulation (§4): one first-level cache per
 // processor, write-invalidate (MSI) coherence, infinite second level.
 // Misses are classified at word granularity by MissClassifier.
+//
+// All coherence state (directory entries, cache lines, classifier
+// snapshots) is held in dense arrays indexed by block number — sized once
+// from total_bytes, never rehashed or grown during replay — and every
+// piece of it is strictly per-block (the directory, the classifier) or
+// per-set (LRU stamps).  That makes the simulation block-partitionable: a
+// CoherentCache built with ShardSpec{k, K} owns exactly the blocks b with
+// b % K == k and replays them independently of the other shards (see
+// trace/shard.h and DESIGN.md "Shard-parallel replay").
 #pragma once
 
-#include <array>
+#include <algorithm>
+#include <bit>
 #include <map>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/attribution.h"
 #include "sim/classify.h"
@@ -17,7 +27,7 @@ struct CacheParams {
   i64 nprocs = 8;
   i64 cache_bytes = 32 * 1024;  // per-processor L1 (the simulation study)
   i64 block_size = 128;
-  i64 total_bytes = 0;  // simulated address-space size (for the classifier)
+  i64 total_bytes = 0;  // simulated address-space size (bounds all refs)
   i64 associativity = 1;  // ways per set (LRU replacement)
   /// Dubois-style hardware ablation (§6 related work): invalidate at word
   /// rather than block granularity.  A remote write only invalidates the
@@ -33,25 +43,58 @@ struct AccessOutcome {
   int invalidated = 0;     // remote copies invalidated by this access
 };
 
-/// Per-processor caches + directory + classifier.  Used by both the
-/// trace-driven study (CacheSim) and the KSR timing model.
+/// Merge the per-block outcomes of one split reference (in block order)
+/// into the outcome reported for the whole reference: invalidations sum,
+/// upgrades OR, the most severe kind wins, the last servicing cache is
+/// reported.  CoherentCache::access applies this internally; the sharded
+/// replay applies it when a split reference's blocks land in different
+/// shards.
+inline AccessOutcome combine_split_outcomes(const AccessOutcome* parts,
+                                            size_t n) {
+  AccessOutcome worst;
+  for (size_t i = 0; i < n; ++i) {
+    const AccessOutcome& o = parts[i];
+    worst.invalidated += o.invalidated;
+    worst.upgrade = worst.upgrade || o.upgrade;
+    if (static_cast<int>(o.kind) > static_cast<int>(worst.kind))
+      worst.kind = o.kind;
+    if (o.source_proc >= 0) worst.source_proc = o.source_proc;
+  }
+  return worst;
+}
+
+/// Per-processor caches + directory + classifier.  Used by the
+/// trace-driven study (CacheSim), the sharded replay and the KSR timing
+/// model.
 class CoherentCache {
  public:
-  explicit CoherentCache(const CacheParams& p);
+  /// With the default shard the cache simulates the whole machine.  With
+  /// ShardSpec{k, K} it simulates only the blocks owned by shard k; K must
+  /// divide the set count (see effective_shard_count) and references must
+  /// be pre-split so each lies within one owned block.
+  explicit CoherentCache(const CacheParams& p, ShardSpec shard = {});
 
   /// Simulate one reference; returns the outcome.  References spanning
   /// multiple blocks (8-byte data with 4-byte blocks) are split internally
-  /// and the most severe outcome is reported.
+  /// and the most severe outcome is reported.  References must lie inside
+  /// the simulated address space (params.total_bytes).
   AccessOutcome access(int proc, i64 addr, i64 size, bool is_write);
 
   const CacheParams& params() const { return params_; }
 
+  /// Cache sets per processor under `p` — the LRU conflict domains, and
+  /// therefore the upper bound on (and divisor constraint for) shards.
+  static i64 set_count(const CacheParams& p);
+
  private:
   enum class LineState : u8 { kInvalid, kShared, kModified };
+  // Packed to 16 bytes so an associative set scan touches fewer cache
+  // lines; block numbers fit i32 (checked against blocks_total_ in the
+  // constructor).
   struct Line {
-    i64 block = -1;
-    LineState state = LineState::kInvalid;
     u64 lru = 0;  // last-use stamp within the set
+    i32 block = -1;
+    LineState state = LineState::kInvalid;
   };
   struct DirEntry {
     u64 sharers = 0;  // bit per processor
@@ -59,24 +102,230 @@ class CoherentCache {
   };
 
   AccessOutcome access_block(int proc, i64 addr, i64 size, bool is_write);
+  i64 block_of(i64 addr) const {
+    return block_shift_ >= 0 ? addr >> block_shift_ : addr / params_.block_size;
+  }
+  /// Shard-local index of an owned block (dense arrays are local-indexed).
+  i64 local_block(i64 block) const {
+    return shard_shift_ >= 0 ? block >> shard_shift_ : block / shard_.count;
+  }
+  i64 set_of(i64 local_block) const {
+    return set_mask_ >= 0 ? (local_block & set_mask_) : local_block % sets_;
+  }
+  // Set-major layout: all processors' ways for one set sit adjacent, so
+  // the coherence paths (invalidate_remote, Modified downgrade) that walk
+  // the same set across processors stay within a couple of cache lines.
+  i64 set_base(int proc, i64 set) const {
+    return (set * params_.nprocs + proc) * params_.associativity;
+  }
   /// The way holding `block` in `proc`'s set, or nullptr.
-  Line* find_line(int proc, i64 block);
-  /// The way to (re)fill for `block`: the resident way if present, else
-  /// the least-recently-used way of the set.
-  Line& victim_line(int proc, i64 block);
+  Line* find_line(int proc, i64 block, i64 local_block);
+  /// The way to (re)fill in `proc`'s set: a free way if present, else the
+  /// least-recently-used way.
+  Line& victim_line(int proc, i64 local_block);
   void drop_from_dir(i64 block, int proc);
   /// Invalidate remote copies on a write by `proc`; returns the count.
   /// Under word_invalidate, remote copies whose words were not written
   /// stay valid (the Dubois et al. hardware scheme).
-  int invalidate_remote(int proc, i64 block);
+  int invalidate_remote(int proc, i64 block, i64 local_block);
 
   CacheParams params_;
-  i64 sets_;
-  std::vector<std::vector<Line>> caches_;  // [proc][set * assoc + way]
-  std::unordered_map<i64, DirEntry> dir_;
+  ShardSpec shard_;
+  i64 sets_;  // sets owned by this shard (global sets / shard count)
+  int block_shift_;   // log2(block_size) when a power of two, else -1
+  int shard_shift_;   // log2(shard.count) when a power of two, else -1
+  i64 set_mask_;      // sets_ - 1 when a power of two, else -1
+  i64 blocks_total_;  // blocks in the whole address space
+  i64 total_span_;    // blocks_total_ * block_size (bounds check)
+  std::vector<Line> lines_;    // [(set * nprocs + proc) * assoc + way]
+  std::vector<DirEntry> dir_;  // [local_block]
   MissClassifier classifier_;
   u64 tick_ = 0;
 };
+
+// The per-reference path is defined inline here (not in cache.cpp) so the
+// replay loop — CacheSim::process and the sharded replays — inlines the
+// whole chain down to the flat-array loads within one translation unit.
+
+inline CoherentCache::Line* CoherentCache::find_line(int proc, i64 block,
+                                                     i64 local_block) {
+  Line* way = lines_.data() +
+              static_cast<size_t>(set_base(proc, set_of(local_block)));
+  for (i64 w = 0; w < params_.associativity; ++w) {
+    if (way[w].block == block && way[w].state != LineState::kInvalid)
+      return &way[w];
+  }
+  return nullptr;
+}
+
+inline CoherentCache::Line& CoherentCache::victim_line(int proc,
+                                                       i64 local_block) {
+  Line* way = lines_.data() +
+              static_cast<size_t>(set_base(proc, set_of(local_block)));
+  Line* victim = nullptr;
+  for (i64 w = 0; w < params_.associativity; ++w) {
+    if (way[w].state == LineState::kInvalid) return way[w];  // free way
+    if (victim == nullptr || way[w].lru < victim->lru) victim = &way[w];
+  }
+  return *victim;
+}
+
+inline void CoherentCache::drop_from_dir(i64 block, int proc) {
+  DirEntry& d = dir_[static_cast<size_t>(local_block(block))];
+  d.sharers &= ~(1ULL << proc);
+  if (d.owner == proc) d.owner = -1;
+  if (d.sharers == 0) d.owner = -1;
+}
+
+inline int CoherentCache::invalidate_remote(int proc, i64 block,
+                                            i64 local_block) {
+  if (params_.word_invalidate) return 0;  // sub-block hardware: no block
+                                          // invalidations (§6, Dubois)
+  int invalidated = 0;
+  DirEntry& d = dir_[static_cast<size_t>(local_block)];
+  u64 m = d.sharers & ~(1ULL << proc);
+  while (m != 0) {  // visit only the actual sharers
+    int q = std::countr_zero(m);
+    m &= m - 1;
+    Line* rl = find_line(q, block, local_block);
+    if (rl != nullptr) {
+      rl->state = LineState::kInvalid;
+      ++invalidated;
+    }
+  }
+  d.sharers = 1ULL << proc;
+  d.owner = proc;
+  return invalidated;
+}
+
+inline AccessOutcome CoherentCache::access_block(int proc, i64 addr,
+                                                 i64 size, bool is_write) {
+  // Derive the block geometry once and hand the shard-local index and
+  // word-offset range to the classifier's pre-validated entry points —
+  // access() has already bounds-checked the reference.
+  i64 block = block_of(addr);
+  FSOPT_CHECK(shard_.count == 1 || block % shard_.count == shard_.index,
+              "reference routed to the wrong shard — the trace partitioner"
+              " must route by block % shard count");
+  i64 lb = local_block(block);
+  i64 base = block_shift_ >= 0 ? block << block_shift_
+                               : block * params_.block_size;
+  i64 w0 = (addr - base) >> 2;
+  i64 w1 = (addr + size - 1 - base) >> 2;
+  Line* resident = find_line(proc, block, lb);
+  ++tick_;
+
+  // Every return site builds the outcome as one aggregate so the compiler
+  // materialises it in the return registers instead of staging the fields
+  // through the stack (byte stores followed by a wide reload stall).
+
+  if (params_.word_invalidate) {
+    // Sub-block invalidation ablation: a resident block still misses when
+    // the specific words referenced were remotely written (their valid
+    // bits are off); nothing else in the block is disturbed.
+    if (resident != nullptr) {
+      resident->lru = tick_;
+      MissKind kind = classifier_.words_valid_at(proc, lb, w0, w1)
+                          ? MissKind::kHit
+                          : MissKind::kTrueSharing;  // word refetch
+      classifier_.note_access_at(proc, lb, w0, w1, is_write);
+      return {kind, false, -1, 0};
+    }
+    MissKind kind = classifier_.classify_miss_at(proc, lb, w0, w1);
+    Line& line = victim_line(proc, lb);
+    if (line.block >= 0 && line.state != LineState::kInvalid)
+      drop_from_dir(line.block, proc);
+    DirEntry& d = dir_[static_cast<size_t>(lb)];
+    d.sharers |= 1ULL << proc;
+    line.block = static_cast<i32>(block);
+    line.state = LineState::kShared;
+    line.lru = tick_;
+    classifier_.note_access_at(proc, lb, w0, w1, is_write);
+    return {kind, false, -1, 0};
+  }
+
+  if (resident != nullptr &&
+      (!is_write || resident->state == LineState::kModified)) {
+    // Plain hit.
+    resident->lru = tick_;
+    classifier_.note_access_at(proc, lb, w0, w1, is_write);
+    return {MissKind::kHit, false, -1, 0};
+  }
+
+  if (resident != nullptr && is_write &&
+      resident->state == LineState::kShared) {
+    // Upgrade: invalidate all other copies; no data transfer.
+    int inv = invalidate_remote(proc, block, lb);
+    resident->state = LineState::kModified;
+    resident->lru = tick_;
+    classifier_.note_access_at(proc, lb, w0, w1, is_write);
+    return {MissKind::kHit, true, -1, inv};
+  }
+
+  // Miss.
+  MissKind kind = classifier_.classify_miss_at(proc, lb, w0, w1);
+
+  Line& line = victim_line(proc, lb);
+  if (line.block >= 0 && line.state != LineState::kInvalid)
+    drop_from_dir(line.block, proc);
+
+  DirEntry& d = dir_[static_cast<size_t>(lb)];
+  int src = d.owner >= 0 && d.owner != proc ? d.owner : -1;
+  int inv = 0;
+
+  if (is_write) {
+    inv = invalidate_remote(proc, block, lb);
+    DirEntry& d2 = dir_[static_cast<size_t>(lb)];
+    d2.sharers = 1ULL << proc;
+    d2.owner = proc;
+    line.block = static_cast<i32>(block);
+    line.state = LineState::kModified;
+  } else {
+    if (d.owner >= 0 && d.owner != proc) {
+      // Downgrade the remote Modified copy to Shared.
+      Line* rl = find_line(d.owner, block, lb);
+      if (rl != nullptr && rl->state == LineState::kModified)
+        rl->state = LineState::kShared;
+      d.owner = -1;
+    }
+    d.sharers |= 1ULL << proc;
+    line.block = static_cast<i32>(block);
+    line.state = LineState::kShared;
+  }
+  line.lru = tick_;
+  classifier_.note_access_at(proc, lb, w0, w1, is_write);
+  return {kind, false, src, inv};
+}
+
+inline AccessOutcome CoherentCache::access(int proc, i64 addr, i64 size,
+                                           bool is_write) {
+  FSOPT_CHECK(addr >= 0 && size > 0 && addr + size <= total_span_,
+              "reference outside the simulated address space — "
+              "total_bytes does not cover the workload");
+  i64 first_block = block_of(addr);
+  i64 last_block = block_of(addr + size - 1);
+  if (first_block == last_block)
+    return access_block(proc, addr, size, is_write);
+  // Split across blocks (only possible for 8-byte data with tiny blocks).
+  // A sharded cache owns only every shard_.count-th block, so spanning
+  // references must be pre-split by the trace partitioner.
+  FSOPT_CHECK(shard_.count == 1,
+              "spanning reference reached a sharded cache — the trace"
+              " partitioner must split it");
+  AccessOutcome parts[4];
+  size_t n = 0;
+  for (i64 b = first_block; b <= last_block; ++b) {
+    i64 lo = std::max(addr, b * params_.block_size);
+    i64 hi = std::min(addr + size, (b + 1) * params_.block_size);
+    FSOPT_CHECK(n < 4, "reference spans too many blocks");
+    parts[n++] = access_block(proc, lo, hi - lo, is_write);
+  }
+  return combine_split_outcomes(parts, n);
+}
+
+/// Largest shard count <= `requested` that divides the set count of `p`
+/// (so every LRU conflict domain stays within one shard).  At least 1.
+int effective_shard_count(int requested, const CacheParams& p);
 
 /// Aggregate statistics for one simulated cache configuration.
 struct MissStats {
@@ -100,7 +349,18 @@ struct MissStats {
                           static_cast<double>(refs)
                     : 0.0;
   }
-  void add(const AccessOutcome& o);
+  void add(const AccessOutcome& o) {
+    ++refs;
+    invalidations += static_cast<u64>(o.invalidated);
+    if (o.upgrade) ++upgrades;
+    switch (o.kind) {
+      case MissKind::kHit: ++hits; break;
+      case MissKind::kCold: ++cold; break;
+      case MissKind::kReplacement: ++replacement; break;
+      case MissKind::kTrueSharing: ++true_sharing; break;
+      case MissKind::kFalseSharing: ++false_sharing; break;
+    }
+  }
   /// Accumulate another configuration's counters (all fields are additive),
   /// so stats from independent replays / trace shards can be combined.
   void merge(const MissStats& other);
@@ -111,23 +371,70 @@ struct MissStats {
 void merge_by_datum(std::map<std::string, MissStats>& into,
                     const std::map<std::string, MissStats>& from);
 
+/// Convert dense per-datum stats (AddressMap range order plus a trailing
+/// slot for addresses outside every range) into the string-keyed map the
+/// reports consume.  Zero-ref slots are skipped; duplicate names merge.
+std::map<std::string, MissStats> materialize_by_datum(
+    const AddressMap& map, const std::vector<MissStats>& dense);
+
 /// TraceSink wrapper: feed references, read statistics — optionally
-/// attributed per data structure through an AddressMap.
+/// attributed per data structure through an AddressMap.  Attribution
+/// accumulates into a dense per-range vector on the hot path; the
+/// string-keyed map is materialized only when asked for.
 class CacheSim : public TraceSink {
  public:
-  explicit CacheSim(const CacheParams& p, const AddressMap* attribution =
-                                              nullptr)
-      : cache_(p), attribution_(attribution) {}
+  explicit CacheSim(const CacheParams& p,
+                    const AddressMap* attribution = nullptr)
+      : cache_(p), attribution_(attribution) {
+    if (attribution_ != nullptr)
+      datum_stats_.assign(attribution_->ranges().size() + 1, MissStats{});
+  }
   void on_ref(const MemRef& ref) override { process(ref); }
-  void on_batch(const MemRef* refs, size_t n) override {
-    for (size_t i = 0; i < n; ++i) process(refs[i]);
+#if defined(__GNUC__)
+  // Inline the whole access chain into the replay loop regardless of the
+  // enclosing translation unit's size heuristics — the per-reference path
+  // is the entire cost of a replay.
+  __attribute__((flatten))
+#endif
+  void
+  on_batch(const MemRef* refs, size_t n) override {
+    if (attribution_ != nullptr) {
+      for (size_t i = 0; i < n; ++i) process(refs[i]);
+      return;
+    }
+    // Unattributed replay classifies each outcome into a small local
+    // histogram and folds it into the stats once per batch — the per-kind
+    // counter update becomes an indexed increment instead of a branchy
+    // switch in the per-reference loop.
+    u64 kinds[5] = {};
+    u64 invalidations = 0, upgrades = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const MemRef& r = refs[i];
+      AccessOutcome o =
+          cache_.access(r.proc, r.addr, r.size, r.type == RefType::kWrite);
+      ++kinds[static_cast<size_t>(o.kind)];
+      invalidations += static_cast<u64>(o.invalidated);
+      upgrades += o.upgrade ? 1 : 0;
+    }
+    stats_.refs += n;
+    stats_.hits += kinds[static_cast<size_t>(MissKind::kHit)];
+    stats_.cold += kinds[static_cast<size_t>(MissKind::kCold)];
+    stats_.replacement += kinds[static_cast<size_t>(MissKind::kReplacement)];
+    stats_.true_sharing +=
+        kinds[static_cast<size_t>(MissKind::kTrueSharing)];
+    stats_.false_sharing +=
+        kinds[static_cast<size_t>(MissKind::kFalseSharing)];
+    stats_.invalidations += invalidations;
+    stats_.upgrades += upgrades;
   }
   const MissStats& stats() const { return stats_; }
   const CacheParams& params() const { return cache_.params(); }
-  /// Per-datum stats (empty unless an AddressMap was supplied).
-  const std::map<std::string, MissStats>& by_datum() const {
-    return by_datum_;
-  }
+  /// Per-datum stats, string-keyed (empty unless an AddressMap was
+  /// supplied).  Built from the dense counters on each call.
+  std::map<std::string, MissStats> by_datum() const;
+  /// The dense per-datum counters (AddressMap order; last slot is
+  /// "<other>").  Empty unless an AddressMap was supplied.
+  const std::vector<MissStats>& datum_stats() const { return datum_stats_; }
 
  private:
   void process(const MemRef& ref) {
@@ -136,14 +443,16 @@ class CacheSim : public TraceSink {
     stats_.add(o);
     if (attribution_ != nullptr) {
       int i = attribution_->index_of(ref.addr);
-      by_datum_[i >= 0 ? attribution_->name_of(i) : "<other>"].add(o);
+      datum_stats_[i >= 0 ? static_cast<size_t>(i)
+                          : datum_stats_.size() - 1]
+          .add(o);
     }
   }
 
   CoherentCache cache_;
   const AddressMap* attribution_;
   MissStats stats_;
-  std::map<std::string, MissStats> by_datum_;
+  std::vector<MissStats> datum_stats_;
 };
 
 }  // namespace fsopt

@@ -38,4 +38,13 @@ constexpr i64 round_up(i64 v, i64 align) {
 /// True iff `v` is a power of two (v > 0).
 constexpr bool is_pow2(i64 v) { return v > 0 && (v & (v - 1)) == 0; }
 
+/// log2(v) when v is a power of two, else -1.  Lets hot paths replace
+/// division/modulo by a runtime value with shift/mask when possible.
+constexpr int pow2_shift(i64 v) {
+  if (!is_pow2(v)) return -1;
+  int s = 0;
+  while ((i64{1} << s) < v) ++s;
+  return s;
+}
+
 }  // namespace fsopt

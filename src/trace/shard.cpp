@@ -1,0 +1,64 @@
+#include "trace/shard.h"
+
+#include <limits>
+
+namespace fsopt {
+
+namespace {
+
+/// Routes a replayed stream into the per-shard slices.
+class PartitionSink : public TraceSink {
+ public:
+  explicit PartitionSink(TracePartition& out) : out_(out) {}
+
+  void on_ref(const MemRef& ref) override { route(ref); }
+  void on_batch(const MemRef* refs, size_t n) override {
+    for (size_t i = 0; i < n; ++i) route(refs[i]);
+  }
+
+ private:
+  void route(const MemRef& ref) {
+    ++out_.refs;
+    i64 bs = out_.block_size;
+    i64 first = ref.addr / bs;
+    i64 last = (ref.addr + ref.size - 1) / bs;
+    i64 k = static_cast<i64>(out_.shards);
+    if (first == last) {
+      out_.shard[static_cast<size_t>(first % k)].refs.push_back(ref);
+      return;
+    }
+    FSOPT_CHECK(out_.split_origin.size() <
+                    std::numeric_limits<u32>::max(),
+                "too many split references in one trace");
+    u32 ordinal = static_cast<u32>(out_.split_origin.size());
+    out_.split_origin.push_back(ref);
+    u8 part = 0;
+    for (i64 b = first; b <= last; ++b) {
+      i64 lo = std::max(ref.addr, b * bs);
+      i64 hi = std::min(ref.addr + ref.size, (b + 1) * bs);
+      TraceShard& s = out_.shard[static_cast<size_t>(b % k)];
+      s.splits.push_back({static_cast<u64>(s.refs.size()), ordinal, part++,
+                          MemRef{lo, static_cast<u8>(hi - lo), ref.proc,
+                                 ref.type}});
+    }
+  }
+
+  TracePartition& out_;
+};
+
+}  // namespace
+
+TracePartition partition_trace(const TraceBuffer& trace, i64 block_size,
+                               int shards) {
+  FSOPT_CHECK(block_size >= 4, "block size must be >= 4");
+  FSOPT_CHECK(shards >= 1, "shard count must be >= 1");
+  TracePartition out;
+  out.block_size = block_size;
+  out.shards = shards;
+  out.shard.resize(static_cast<size_t>(shards));
+  PartitionSink sink(out);
+  trace.replay(sink);
+  return out;
+}
+
+}  // namespace fsopt

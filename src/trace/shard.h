@@ -1,0 +1,61 @@
+// Block-partitioning of recorded traces for shard-parallel replay.
+//
+// The MSI model's coherence state is strictly per-block (directory entry,
+// classifier snapshots, word versions) and LRU state is per-set, so a
+// recorded reference stream can be split by block number into K shards
+// that replay concurrently: shard k receives exactly the references whose
+// block b = addr / block_size satisfies b % K == k, in their original
+// relative order.  Replaying each shard against a CoherentCache built
+// with ShardSpec{k, K} and summing the per-shard counters reproduces the
+// unsharded replay bit for bit (DESIGN.md "Shard-parallel replay").
+//
+// References that span two blocks (8-byte data on 4-byte blocks) touch
+// two shards.  The partitioner splits them into per-block pieces, routes
+// each piece to its owning shard at the correct position in that shard's
+// stream, and records an (ordinal, part) tag so the replay can reassemble
+// the per-reference outcome — exactly what CoherentCache::access computes
+// inline — after the shards finish.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace fsopt {
+
+/// One shard's slice of a partitioned trace.
+struct TraceShard {
+  /// Single-block references owned by this shard, in trace order.
+  std::vector<MemRef> refs;
+
+  /// One block-sized piece of a spanning reference: replay it after `pos`
+  /// entries of `refs` have been delivered.  `ordinal` identifies the
+  /// original reference across shards; `part` is the piece's index in
+  /// block order.
+  struct SplitPart {
+    u64 pos = 0;
+    u32 ordinal = 0;
+    u8 part = 0;
+    MemRef sub;
+  };
+  std::vector<SplitPart> splits;  // ordered by (pos, trace order)
+};
+
+/// A recorded trace partitioned by block for one block size.
+struct TracePartition {
+  i64 block_size = 0;
+  int shards = 1;
+  std::vector<TraceShard> shard;  // size == shards
+  /// The original spanning references, indexed by ordinal (their combined
+  /// outcome is attributed to split_origin[ordinal].addr).
+  std::vector<MemRef> split_origin;
+  u64 refs = 0;  // references in the source trace
+};
+
+/// Partition `trace` for replay under `block_size` across `shards`
+/// concurrent shards (>= 1).  Callers derive `shards` with
+/// effective_shard_count so no LRU set straddles two shards.
+TracePartition partition_trace(const TraceBuffer& trace, i64 block_size,
+                               int shards);
+
+}  // namespace fsopt

@@ -114,6 +114,60 @@ TEST(Cache, EightByteAccessOnTinyBlocksSplits) {
   EXPECT_EQ(c.access(0, 4, 4, false).kind, MissKind::kHit);
 }
 
+TEST(Cache, SplitWriteSumsInvalidationsAcrossBlocks) {
+  // 4B blocks: an 8B write touches two blocks, each cached by two remote
+  // processors — the merged outcome reports all four invalidations.
+  CoherentCache c(params(3, /*block=*/4));
+  c.access(1, 0, 8, false);
+  c.access(2, 0, 8, false);
+  AccessOutcome o = c.access(0, 0, 8, true);
+  EXPECT_EQ(o.invalidated, 4);
+  EXPECT_EQ(o.kind, MissKind::kCold);
+}
+
+TEST(Cache, SplitRefMergesWorstKind) {
+  // One half hits, the other is a true-sharing miss: the merged kind is
+  // the worse of the two.
+  CoherentCache c(params(2, /*block=*/4));
+  c.access(0, 0, 8, false);
+  c.access(1, 4, 4, true);  // invalidates only the second block
+  AccessOutcome o = c.access(0, 0, 8, false);
+  EXPECT_EQ(o.kind, MissKind::kTrueSharing);
+  EXPECT_EQ(o.source_proc, 1);
+}
+
+TEST(Cache, SplitWriteMergesUpgrade) {
+  CoherentCache c(params(2, /*block=*/4));
+  c.access(0, 0, 8, false);
+  c.access(1, 0, 4, false);  // first block now shared by both
+  AccessOutcome o = c.access(0, 0, 8, true);
+  EXPECT_EQ(o.kind, MissKind::kHit);  // both halves upgrade in place
+  EXPECT_TRUE(o.upgrade);
+  EXPECT_EQ(o.invalidated, 1);
+}
+
+TEST(Cache, OutOfRangeAccessThrows) {
+  // total_bytes bounds the simulated address space; silently dropping
+  // out-of-range words would skew every counter, so it must throw.
+  CoherentCache c(params());  // total = 1 << 16
+  EXPECT_THROW(c.access(0, i64{1} << 16, 4, false), InternalError);
+  EXPECT_THROW(c.access(0, (i64{1} << 16) - 4, 8, false), InternalError);
+  EXPECT_THROW(c.access(0, -4, 4, false), InternalError);
+}
+
+TEST(CacheSim, SplitRefCountsOnce) {
+  // An 8B ref on 4B blocks is two block transactions but ONE reference
+  // in the stats — same contract as the sharded replay path.
+  CacheSim sim(params(2, /*block=*/4));
+  sim.on_ref({0, 8, 0, RefType::kRead});
+  EXPECT_EQ(sim.stats().refs, 1u);
+  EXPECT_EQ(sim.stats().cold, 1u);
+  sim.on_ref({0, 8, 0, RefType::kRead});
+  EXPECT_EQ(sim.stats().refs, 2u);
+  EXPECT_EQ(sim.stats().hits, 1u);
+  EXPECT_EQ(sim.stats().misses() + sim.stats().hits, 2u);
+}
+
 TEST(CacheSim, StatsAccumulate) {
   CacheSim sim(params(2));
   sim.on_ref({0, 4, 0, RefType::kRead});
