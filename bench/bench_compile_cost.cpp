@@ -5,8 +5,6 @@
 // the added analyses and transformation planning.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
-
 #include "bench_util.h"
 #include "lang/sema.h"
 
@@ -67,22 +65,15 @@ int main(int argc, char** argv) {
   // Print a one-shot ratio table before the detailed benchmark run.
   for (const std::string& name : fig3_programs()) {
     const auto& w = workloads::get(name);
-    ParamOverrides ov(w.sim_overrides.begin(), w.sim_overrides.end());
-    ov["NPROCS"] = 12;
-    auto t0 = std::chrono::steady_clock::now();
-    DiagnosticEngine diags;
-    auto prog = parse_and_check(w.natural, diags, ov);
-    auto t1 = std::chrono::steady_clock::now();
-    ProgramSummary sum = analyze_program(*prog);
-    SharingReport rep = classify_sharing(sum);
-    TransformSet ts = decide_transforms(rep, sum, {});
-    LayoutPlan plan = build_layout(*prog, ts, {});
-    auto t2 = std::chrono::steady_clock::now();
-    CodeImage img = compile_code(*prog, plan);
-    auto t3 = std::chrono::steady_clock::now();
-    double front = std::chrono::duration<double>(t1 - t0).count();
-    double ana = std::chrono::duration<double>(t2 - t1).count();
-    double back = std::chrono::duration<double>(t3 - t2).count();
+    CompileOptions opt = options_for(w, 12, /*optimize=*/true,
+                                     /*timing=*/false);
+    PipelineMetrics m;
+    compile_source_metered(w.natural, opt, &m);
+    // The paper's split: the front end every compiler pays (parse+sema),
+    // the added analyses/planning, and code generation.
+    double front = m.find("parse")->seconds + m.find("sema")->seconds;
+    double back = m.find("codegen")->seconds;
+    double ana = m.total_seconds() - front - back;
     std::printf("%-11s analyses %.0f us = %.1f%% of compile\n", name.c_str(),
                 ana * 1e6, 100.0 * ana / (front + ana + back));
     json.add(name, "analyses_seconds", ana);

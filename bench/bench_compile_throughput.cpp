@@ -1,0 +1,167 @@
+// Compile-throughput microbench and pipeline regression guard.
+//
+// The compiler half of the repo is now a metered pass pipeline with
+// parallel workload-matrix compilation (driver/pipeline.h,
+// compile_matrix).  This bench does three things over the full
+// workload x {N,C,P} matrix:
+//
+//   1. Cross-check (hard-fails on divergence): every matrix entry is also
+//      compiled through the retained pre-refactor reference path
+//      (compile_source_reference) and the two Compiled outputs must have
+//      bit-identical fingerprints (sharing report, transform decisions,
+//      layout-resolved code image, sizes).
+//   2. Determinism (hard-fails): compile_matrix with --threads K must
+//      produce identical fingerprints, identical reported pass structure
+//      and identical front-sharing decisions for every K.
+//   3. Throughput: serial reference vs. serial pipeline (instrumentation
+//      overhead) vs. parallel pipeline (matrix fan-out + shared parse/sema
+//      fronts), plus a where-does-compile-time-go table aggregated from
+//      the per-pass metrics.
+//
+// Flags: --threads N --json PATH --repeats N (default 3)
+#include <thread>
+
+#include "bench_util.h"
+#include "support/timing.h"
+
+using namespace fsopt;
+using namespace fsopt::benchx;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  std::fprintf(stderr,
+               "bench_compile_throughput: %s — the pipeline and the "
+               "reference path are supposed to be bit-identical\n",
+               what.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions bo = parse_bench_args(argc, argv, /*allow_unknown=*/true);
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--repeats" && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--json PATH] [--repeats N]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  int cpus = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  int par_threads = bo.threads > 0 ? bo.threads : cpus;
+
+  std::vector<CompileJob> jobs = workload_matrix_jobs();
+  std::printf("=== Compile throughput: %zu matrix jobs "
+              "(10 workloads x N/C[/P]), best of %d ===\n\n",
+              jobs.size(), repeats);
+
+  // --- 1: cross-check pipeline vs. retained reference path -------------
+  std::vector<CompiledVariant> matrix = compile_matrix(jobs, par_threads);
+  const std::vector<std::string> expect_names = compile_pass_names();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    Compiled ref = compile_source_reference(jobs[i].source, jobs[i].options);
+    if (compile_fingerprint(ref) != compile_fingerprint(matrix[i].compiled))
+      fail("outputs diverge for " + jobs[i].label);
+    if (matrix[i].metrics.pass_names() != expect_names)
+      fail("pass structure diverges for " + jobs[i].label);
+    for (const PassMetrics& p : matrix[i].metrics.passes)
+      if (p.seconds < 0)
+        fail("negative pass timing for " + jobs[i].label);
+  }
+  std::printf("cross-check: %zu/%zu variants identical to the reference "
+              "path\n",
+              jobs.size(), jobs.size());
+
+  // --- 2: thread-count determinism --------------------------------------
+  for (int k : {1, 2, par_threads}) {
+    std::vector<CompiledVariant> again = compile_matrix(jobs, k);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (compile_fingerprint(again[i].compiled) !=
+          compile_fingerprint(matrix[i].compiled))
+        fail("outputs depend on thread count (" + std::to_string(k) +
+             ") for " + jobs[i].label);
+      if (again[i].metrics.pass_names() != expect_names)
+        fail("pass structure depends on thread count for " + jobs[i].label);
+      if (again[i].front_shared != matrix[i].front_shared)
+        fail("front sharing depends on thread count for " + jobs[i].label);
+    }
+  }
+  std::printf("determinism: identical outputs and pass structure for "
+              "--threads 1, 2, %d\n\n",
+              par_threads);
+
+  // --- 3: throughput ----------------------------------------------------
+  double t_ref = best_of(repeats, [&] {
+    for (const CompileJob& j : jobs) {
+      Compiled c = compile_source_reference(j.source, j.options);
+      (void)c;
+    }
+  });
+  double t_serial = best_of(repeats, [&] {
+    std::vector<CompiledVariant> r = compile_matrix(jobs, 1);
+    (void)r;
+  });
+  double t_par = best_of(repeats, [&] {
+    std::vector<CompiledVariant> r = compile_matrix(jobs, par_threads);
+    (void)r;
+  });
+
+  int shared = 0;
+  for (const CompiledVariant& v : matrix) shared += v.front_shared ? 1 : 0;
+
+  TextTable tab({"configuration", "wall", "jobs/s", "vs serial"});
+  double n = static_cast<double>(jobs.size());
+  tab.add_row({"reference, serial", fixed(t_ref * 1e3, 2) + "ms",
+               fixed(n / t_ref, 0), fixed(t_serial / t_ref, 2) + "x"});
+  tab.add_row({"pipeline, serial", fixed(t_serial * 1e3, 2) + "ms",
+               fixed(n / t_serial, 0), "1.00x"});
+  tab.add_row({"pipeline, " + std::to_string(par_threads) + " threads",
+               fixed(t_par * 1e3, 2) + "ms", fixed(n / t_par, 0),
+               fixed(t_serial / t_par, 2) + "x"});
+  std::printf("--- matrix compile throughput (%d cpus, %d shared fronts) "
+              "---\n%s\n",
+              cpus, shared, tab.render().c_str());
+
+  // Where compile time goes, from the serial run's per-pass metrics (the
+  // parallel run's wall times overlap and would double-count).
+  std::vector<CompiledVariant> serial_matrix = compile_matrix(jobs, 1);
+  TextTable where({"pass", "total", "share"});
+  double total = 0;
+  std::vector<std::pair<std::string, double>> by_pass;
+  for (const std::string& name : expect_names)
+    by_pass.emplace_back(name, 0.0);
+  for (const CompiledVariant& v : serial_matrix) {
+    for (const PassMetrics& p : v.metrics.passes) {
+      if (v.front_shared && (p.name == "parse" || p.name == "sema"))
+        continue;  // shared front: counted once, at its owning job
+      for (auto& [name, sec] : by_pass)
+        if (name == p.name) sec += p.seconds;
+    }
+  }
+  for (const auto& [name, sec] : by_pass) total += sec;
+  JsonReport json;
+  for (const auto& [name, sec] : by_pass) {
+    where.add_row({name, fixed(sec * 1e3, 2) + "ms", pct(sec / total)});
+    json.add("passes", "seconds_" + name, sec);
+  }
+  std::printf("--- where compile time goes (serial matrix) ---\n%s\n",
+              where.render().c_str());
+
+  json.add("matrix", "jobs", n);
+  json.add("matrix", "cpus", static_cast<double>(cpus));
+  json.add("matrix", "fronts_shared", static_cast<double>(shared));
+  json.add("matrix", "reference_serial_seconds", t_ref);
+  json.add("matrix", "pipeline_serial_seconds", t_serial);
+  json.add("matrix", "pipeline_parallel_seconds", t_par);
+  json.add("matrix", "parallel_speedup", t_serial / t_par);
+  json.add("matrix", "pipeline_overhead_vs_reference", t_serial / t_ref);
+  json.write(bo.json_path);
+  return 0;
+}

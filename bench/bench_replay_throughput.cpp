@@ -20,31 +20,17 @@
 //   --target-refs N   replicate the recorded trace to at least N refs
 //                     (default 4000000)
 //   --repeats N       best-of-N timing (default 3)
-#include <chrono>
 #include <cmath>
-#include <functional>
 #include <thread>
 
 #include "baseline_cache.h"
 #include "bench_util.h"
+#include "support/timing.h"
 
 using namespace fsopt;
 using namespace fsopt::benchx;
 
 namespace {
-
-double time_once(const std::function<void()>& fn) {
-  auto t0 = std::chrono::steady_clock::now();
-  fn();
-  auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
-
-double best_of(int n, const std::function<void()>& fn) {
-  double best = time_once(fn);
-  for (int i = 1; i < n; ++i) best = std::min(best, time_once(fn));
-  return best;
-}
 
 [[noreturn]] void mismatch(const char* what, i64 block) {
   std::fprintf(stderr,

@@ -395,16 +395,10 @@ class SummaryWalker {
 
 }  // namespace
 
-ProgramSummary analyze_program(const Program& prog) {
-  ProgramSummary out;
-  out.prog = &prog;
-  out.nprocs = prog.nprocs;
-  CallGraph cg(prog);
-  out.pdvs = analyze_pdvs(prog, cg);
-  out.phases = analyze_phases(prog);
-  out.percf = analyze_per_process_cf(prog, out.pdvs);
-
-  out.func_summaries.resize(prog.funcs.size());
+void summarize_side_effects(const CallGraph& cg, ProgramSummary& out) {
+  FSOPT_CHECK(out.prog != nullptr, "summarize_side_effects before stages 1-2");
+  const Program& prog = *out.prog;
+  out.func_summaries.assign(prog.funcs.size(), FuncSummary{});
   for (const FuncDecl* fn : cg.bottom_up()) {
     if (fn == prog.main) continue;
     SummaryWalker w(prog, out.pdvs, nullptr, out.func_summaries, *fn);
@@ -417,6 +411,17 @@ ProgramSummary analyze_program(const Program& prog) {
     out.func_summaries[static_cast<size_t>(prog.main->id)] = ms;
     out.records = std::move(ms.records);
   }
+}
+
+ProgramSummary analyze_program(const Program& prog) {
+  ProgramSummary out;
+  out.prog = &prog;
+  out.nprocs = prog.nprocs;
+  CallGraph cg(prog);
+  out.pdvs = analyze_pdvs(prog, cg);
+  out.phases = analyze_phases(prog);
+  out.percf = analyze_per_process_cf(prog, out.pdvs);
+  summarize_side_effects(cg, out);
   return out;
 }
 

@@ -1,11 +1,21 @@
 #include "driver/compiler.h"
 
+#include "driver/pipeline.h"
 #include "lang/sema.h"
 
 namespace fsopt {
 
 Compiled compile_source(std::string_view source,
                         const CompileOptions& options) {
+  return compile_source_metered(source, options, nullptr);
+}
+
+// The pre-refactor compile path, retained verbatim as the regression
+// reference for the pass pipeline (see driver/pipeline.h).  Do not
+// "simplify" this to call the pipeline — its whole value is being an
+// independent implementation to diff against.
+Compiled compile_source_reference(std::string_view source,
+                                  const CompileOptions& options) {
   Compiled out;
   out.options = options;
   DiagnosticEngine diags;

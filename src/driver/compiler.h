@@ -28,7 +28,11 @@ struct CompileOptions {
 
 class Compiled {
  public:
-  std::unique_ptr<Program> prog;
+  /// Shared, not unique: variants of one source that differ only in
+  /// back-half options (the N and C versions of a workload) can share one
+  /// parsed+checked Program (see driver/pipeline.h FrontHalf).  The
+  /// Program is immutable after sema.
+  std::shared_ptr<Program> prog;
   ProgramSummary summary;
   SharingReport report;
   TransformSet transforms;
@@ -48,7 +52,9 @@ class Compiled {
                             const std::string& field) const;
 };
 
-/// Full pipeline.  Throws CompileError on invalid programs.
+/// Full pipeline.  Throws CompileError on invalid programs.  Runs the
+/// metered pass pipeline of driver/pipeline.h (without collecting
+/// metrics); use compile_source_metered there for per-pass timings.
 Compiled compile_source(std::string_view source,
                         const CompileOptions& options = {});
 

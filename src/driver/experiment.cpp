@@ -1,8 +1,12 @@
 #include "driver/experiment.h"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <map>
 #include <memory>
+
+#include "workloads/workloads.h"
 
 namespace fsopt {
 
@@ -347,6 +351,92 @@ TraceStudyResult run_trace_study(const Compiled& c,
   TraceBuffer trace = record_trace(c);
   return replay_trace_study(trace, c, block_sizes, l1_bytes, attribution,
                             threads, shards);
+}
+
+namespace {
+
+/// Value key identifying a shareable parse+sema front: the source text
+/// plus the param overrides, serialized deterministically.  Keyed by
+/// content (not pointer) so the N and C variants share a front even when
+/// their Workload fields hold separate copies of the same source.
+std::string front_key(const CompileJob& job) {
+  std::vector<std::pair<std::string, i64>> ov(job.options.overrides.begin(),
+                                              job.options.overrides.end());
+  std::sort(ov.begin(), ov.end());
+  std::string key;
+  for (const auto& [k, v] : ov) key += k + "=" + std::to_string(v) + ";";
+  key += "\n";
+  key.append(job.source);
+  return key;
+}
+
+}  // namespace
+
+std::vector<CompiledVariant> compile_matrix(
+    const std::vector<CompileJob>& jobs, int threads) {
+  if (threads <= 0) threads = experiment_threads();
+
+  // Group jobs by front key, groups in first-appearance order.  The
+  // grouping depends only on the job list, so the sharing structure (and
+  // with it every job's reported metrics layout) is thread-count
+  // invariant.
+  struct Group {
+    std::vector<size_t> jobs;  // indices in job order
+    FrontHalf front;
+  };
+  std::vector<Group> groups;
+  std::map<std::string, size_t> by_key;
+  std::vector<size_t> group_of(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    auto [it, inserted] = by_key.try_emplace(front_key(jobs[i]),
+                                             groups.size());
+    if (inserted) groups.push_back({});
+    group_of[i] = it->second;
+    groups[it->second].jobs.push_back(i);
+  }
+
+  // Phase 1: one parse+sema front per unique (source, overrides).
+  parallel_for_each(threads, groups.size(), [&](size_t g) {
+    const CompileJob& job = jobs[groups[g].jobs.front()];
+    groups[g].front = run_front(job.source, job.options.overrides);
+  });
+
+  // Phase 2: every job's back half, against its group's front.  The
+  // Program is immutable after sema, so concurrent back halves can share
+  // it; each job writes only its own slot.
+  std::vector<CompiledVariant> out(jobs.size());
+  parallel_for_each(threads, jobs.size(), [&](size_t i) {
+    const Group& g = groups[group_of[i]];
+    out[i].label = jobs[i].label;
+    out[i].compiled = run_back(g.front, jobs[i].options, &out[i].metrics);
+    out[i].front_shared = g.jobs.size() > 1 && g.jobs.front() != i;
+  });
+  return out;
+}
+
+std::vector<CompileJob> workload_matrix_jobs(i64 block_size) {
+  std::vector<CompileJob> jobs;
+  for (const workloads::Workload& w : workloads::all()) {
+    CompileOptions base;
+    base.overrides = w.sim_overrides;
+    base.overrides["NPROCS"] = w.fig3_procs;
+    base.block_size = block_size;
+
+    CompileOptions n = base;
+    n.optimize = false;
+    jobs.push_back({w.name + "/N", w.natural, n});
+
+    CompileOptions c = base;
+    c.optimize = true;
+    jobs.push_back({w.name + "/C", w.natural, c});
+
+    if (w.has_prog()) {
+      CompileOptions p = base;
+      p.optimize = false;
+      jobs.push_back({w.name + "/P", w.prog, p});
+    }
+  }
+  return jobs;
 }
 
 TimingResult run_ksr(const Compiled& c, KsrParams params) {

@@ -15,6 +15,7 @@
 #include <map>
 
 #include "driver/compiler.h"
+#include "driver/pipeline.h"
 #include "interp/machine.h"
 #include "sim/ksr.h"
 #include "support/thread_pool.h"
@@ -113,6 +114,51 @@ ShardedReplayResult replay_partitioned(const TracePartition& part,
                                        const AddressMap* attribution =
                                            nullptr,
                                        int threads = 0);
+
+// ---------------------------------------------------------------------------
+// Parallel workload-matrix compilation.
+//
+// The experiment suite compiles a whole matrix of (workload, version,
+// param-override) combinations — ten workloads x {N,C,P} for the paper's
+// tables.  Compiles are pure and independent, so the matrix fans out
+// across the thread pool; jobs whose (source, overrides) agree — the N
+// and C variants of one source — additionally share a single parse+sema
+// front half (driver/pipeline.h).  Grouping and result order depend only
+// on the job list, never on the thread count, so outputs and reported
+// pass structure are bit-identical for any --threads value.
+// ---------------------------------------------------------------------------
+
+/// One compile of the matrix.  `source` must outlive the compile_matrix
+/// call (workload sources are static, so this is free in practice).
+struct CompileJob {
+  std::string label;        // e.g. "fmm/C"
+  std::string_view source;
+  CompileOptions options;
+};
+
+/// One compiled matrix entry, in job order.
+struct CompiledVariant {
+  std::string label;
+  Compiled compiled;
+  /// Full per-pass metrics (front passes included; for jobs that reused a
+  /// shared front the front timings are those of the one shared run).
+  PipelineMetrics metrics;
+  /// True when this job reused another job's parse+sema front.
+  bool front_shared = false;
+};
+
+/// Compile every job, fanning out across `threads` workers (0 = the
+/// experiment_threads() knob).  Runs as two parallel phases over one
+/// thread budget: unique (source, overrides) fronts first, then every
+/// job's back half against its (possibly shared) front.
+std::vector<CompiledVariant> compile_matrix(
+    const std::vector<CompileJob>& jobs, int threads = 0);
+
+/// The standard experiment matrix: every workload in version N (natural
+/// source, no transformations), C (natural source, compiler-optimized)
+/// and P (programmer-optimized source, when the paper has one), with
+/// sim_overrides and the workload's Figure-3 processor count.
+std::vector<CompileJob> workload_matrix_jobs(i64 block_size = 128);
 
 struct TimingResult {
   i64 cycles = 0;

@@ -1,0 +1,204 @@
+#include "driver/pipeline.h"
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "support/timing.h"
+
+namespace fsopt {
+
+PassManager& PassManager::add(
+    std::string name, std::function<void(PassContext&, PassMetrics&)> fn) {
+  passes_.push_back({std::move(name), std::move(fn)});
+  return *this;
+}
+
+void PassManager::run(PassContext& ctx, PipelineMetrics& metrics) const {
+  for (const Pass& p : passes_) {
+    PassMetrics pm;
+    pm.name = p.name;
+    AllocCounters before = thread_alloc_counters();
+    Stopwatch sw;
+    p.run(ctx, pm);
+    pm.seconds = sw.seconds();
+    AllocCounters after = thread_alloc_counters();
+    pm.alloc_count = after.count - before.count;
+    pm.alloc_bytes = after.bytes - before.bytes;
+    metrics.passes.push_back(std::move(pm));
+  }
+}
+
+std::vector<std::string> PassManager::pass_names() const {
+  std::vector<std::string> out;
+  out.reserve(passes_.size());
+  for (const Pass& p : passes_) out.push_back(p.name);
+  return out;
+}
+
+namespace {
+
+i64 count_stmts(const Program& prog) {
+  i64 n = 0;
+  for (const auto& fn : prog.funcs)
+    if (fn->body != nullptr)
+      for_each_stmt(*fn->body, [&](const Stmt&) { ++n; });
+  return n;
+}
+
+PassManager build_front() {
+  PassManager pm;
+  pm.add("parse", [](PassContext& ctx, PassMetrics& m) {
+    ctx.prog = Parser::parse(ctx.source, ctx.diags, ctx.options.overrides);
+    m.set_counter("functions", static_cast<i64>(ctx.prog->funcs.size()));
+    m.set_counter("globals", static_cast<i64>(ctx.prog->globals.size()));
+    m.set_counter("stmts", count_stmts(*ctx.prog));
+  });
+  pm.add("sema", [](PassContext& ctx, PassMetrics& m) {
+    Sema sema(ctx.diags);
+    sema.run(*ctx.prog);
+    m.set_counter("structs", static_cast<i64>(ctx.prog->structs.size()));
+    m.set_counter("nprocs", ctx.prog->nprocs);
+  });
+  return pm;
+}
+
+PassManager build_back() {
+  PassManager pm;
+  pm.add("callgraph", [](PassContext& ctx, PassMetrics& m) {
+    ctx.callgraph = std::make_unique<CallGraph>(*ctx.prog);
+    i64 cfg_nodes = 0;
+    for (const auto& fn : ctx.prog->funcs) {
+      Cfg cfg(*fn);
+      cfg_nodes += static_cast<i64>(cfg.nodes().size());
+    }
+    if (ctx.prog->main != nullptr)
+      ctx.main_cfg = std::make_unique<Cfg>(*ctx.prog->main);
+    m.set_counter("call_sites",
+                  static_cast<i64>(ctx.callgraph->sites().size()));
+    m.set_counter("cfg_nodes", cfg_nodes);
+  });
+  pm.add("pdv", [](PassContext& ctx, PassMetrics& m) {
+    ctx.summary.prog = ctx.prog.get();
+    ctx.summary.nprocs = ctx.prog->nprocs;
+    ctx.summary.pdvs = analyze_pdvs(*ctx.prog, *ctx.callgraph);
+    m.set_counter("pdvs", static_cast<i64>(ctx.summary.pdvs.pdvs.size()));
+  });
+  pm.add("percf", [](PassContext& ctx, PassMetrics& m) {
+    ctx.summary.percf = analyze_per_process_cf(*ctx.prog, ctx.summary.pdvs);
+    m.set_counter("decided_branches",
+                  static_cast<i64>(ctx.summary.percf.divergences.size()));
+  });
+  pm.add("phases", [](PassContext& ctx, PassMetrics& m) {
+    ctx.summary.phases = analyze_phases(*ctx.prog);
+    m.set_counter("phases", ctx.summary.phases.phase_count);
+    m.set_counter("suspicious_barriers",
+                  static_cast<i64>(
+                      ctx.summary.phases.suspicious_barriers.size()));
+  });
+  pm.add("sideeffects", [](PassContext& ctx, PassMetrics& m) {
+    summarize_side_effects(*ctx.callgraph, ctx.summary);
+    i64 merged = 0;
+    for (const FuncSummary& fs : ctx.summary.func_summaries)
+      merged += static_cast<i64>(fs.records.size());
+    m.set_counter("records", static_cast<i64>(ctx.summary.records.size()));
+    m.set_counter("rsds_merged", merged);
+  });
+  pm.add("report", [](PassContext& ctx, PassMetrics& m) {
+    ctx.report = classify_sharing(ctx.summary);
+    m.set_counter("data", static_cast<i64>(ctx.report.data.size()));
+  });
+  pm.add("decide", [](PassContext& ctx, PassMetrics& m) {
+    if (ctx.options.optimize) {
+      DecisionOptions dopt = ctx.options.decision;
+      dopt.block_size = ctx.options.block_size;
+      ctx.transforms = decide_transforms(ctx.report, ctx.summary, dopt);
+    }
+    m.set_counter("decisions",
+                  static_cast<i64>(ctx.transforms.decisions.size()));
+  });
+  pm.add("layout", [](PassContext& ctx, PassMetrics& m) {
+    ctx.layout = build_layout(*ctx.prog, ctx.transforms,
+                              PlanOptions{ctx.options.block_size});
+    m.set_counter("total_bytes", ctx.layout.total_bytes());
+  });
+  pm.add("codegen", [](PassContext& ctx, PassMetrics& m) {
+    ctx.code = compile_code(*ctx.prog, ctx.layout);
+    m.set_counter("instructions", static_cast<i64>(ctx.code.code.size()));
+    m.set_counter("plans", static_cast<i64>(ctx.code.plans.size()));
+  });
+  return pm;
+}
+
+}  // namespace
+
+const PassManager& front_pipeline() {
+  static const PassManager pm = build_front();
+  return pm;
+}
+
+const PassManager& back_pipeline() {
+  static const PassManager pm = build_back();
+  return pm;
+}
+
+std::vector<std::string> compile_pass_names() {
+  std::vector<std::string> names = front_pipeline().pass_names();
+  for (const std::string& n : back_pipeline().pass_names())
+    names.push_back(n);
+  return names;
+}
+
+FrontHalf run_front(std::string_view source,
+                    const ParamOverrides& overrides) {
+  PassContext ctx;
+  ctx.source = source;
+  ctx.options.overrides = overrides;
+  FrontHalf out;
+  front_pipeline().run(ctx, out.metrics);
+  out.prog = std::move(ctx.prog);
+  return out;
+}
+
+Compiled run_back(const FrontHalf& front, const CompileOptions& options,
+                  PipelineMetrics* metrics) {
+  PassContext ctx;
+  ctx.options = options;
+  ctx.prog = front.prog;
+  PipelineMetrics back_metrics;
+  back_pipeline().run(ctx, back_metrics);
+
+  Compiled out;
+  out.options = options;
+  out.prog = std::move(ctx.prog);
+  out.summary = std::move(ctx.summary);
+  out.report = std::move(ctx.report);
+  out.transforms = std::move(ctx.transforms);
+  out.layout = std::move(ctx.layout);
+  out.code = std::move(ctx.code);
+  if (metrics != nullptr) {
+    metrics->append(front.metrics);
+    metrics->append(back_metrics);
+  }
+  return out;
+}
+
+Compiled compile_source_metered(std::string_view source,
+                                const CompileOptions& options,
+                                PipelineMetrics* metrics) {
+  FrontHalf front = run_front(source, options.overrides);
+  return run_back(front, options, metrics);
+}
+
+std::string compile_fingerprint(const Compiled& c) {
+  std::string fp;
+  fp += "report:\n" + c.report.render();
+  fp += "transforms:\n" + c.transforms.render(c.summary);
+  fp += "code:\n" + c.code.disassemble();
+  fp += "layout_bytes:" + std::to_string(c.layout.total_bytes()) + "\n";
+  fp += "total_bytes:" + std::to_string(c.code.total_bytes) + "\n";
+  fp += "barrier_base:" + std::to_string(c.code.barrier_base) + "\n";
+  fp += "records:" + std::to_string(c.summary.records.size()) + "\n";
+  fp += "nprocs:" + std::to_string(c.nprocs()) + "\n";
+  return fp;
+}
+
+}  // namespace fsopt

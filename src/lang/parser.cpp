@@ -49,7 +49,7 @@ const Token& Parser::expect(Tok k, const char* context) {
 
 void Parser::fail(const std::string& msg) {
   diags_.error(peek().loc, msg);
-  throw CompileError(diags_.render());
+  throw CompileError(diags_.render(), diags_.diagnostics());
 }
 
 std::unique_ptr<Program> Parser::parse_program() {

@@ -48,7 +48,7 @@ std::string DiagnosticEngine::render() const {
 }
 
 void DiagnosticEngine::throw_if_errors() const {
-  if (has_errors()) throw CompileError(render());
+  if (has_errors()) throw CompileError(render(), diags_);
 }
 
 }  // namespace fsopt

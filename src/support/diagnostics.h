@@ -27,9 +27,16 @@ struct Diagnostic {
 };
 
 /// Thrown when compilation cannot proceed (after diagnostics were recorded).
+/// Carries the structured diagnostics alongside the rendered what() text,
+/// so drivers (tools/fsoptc.cpp) can report each message with its source
+/// location and severity instead of one opaque blob.
 class CompileError : public std::runtime_error {
  public:
   explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+  CompileError(const std::string& what, std::vector<Diagnostic> diags)
+      : std::runtime_error(what), diagnostics(std::move(diags)) {}
+
+  std::vector<Diagnostic> diagnostics;  // may be empty (internal throws)
 };
 
 /// Collects diagnostics for one compilation.  Errors are recorded rather

@@ -1,0 +1,211 @@
+#include "support/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+
+namespace fsopt {
+
+namespace {
+// Constant-initialized (no dynamic init) so the very first allocation of a
+// thread — possibly before any fsopt code ran — finds a valid tally.
+thread_local AllocCounters tl_alloc;
+}  // namespace
+
+AllocCounters thread_alloc_counters() { return tl_alloc; }
+
+void PassMetrics::set_counter(const std::string& key, i64 value) {
+  for (auto& [k, v] : counters) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  counters.emplace_back(key, value);
+}
+
+i64 PassMetrics::counter(const std::string& key) const {
+  for (const auto& [k, v] : counters)
+    if (k == key) return v;
+  return -1;
+}
+
+double PipelineMetrics::total_seconds() const {
+  double s = 0.0;
+  for (const auto& p : passes) s += p.seconds;
+  return s;
+}
+
+u64 PipelineMetrics::total_alloc_bytes() const {
+  u64 n = 0;
+  for (const auto& p : passes) n += p.alloc_bytes;
+  return n;
+}
+
+std::vector<std::string> PipelineMetrics::pass_names() const {
+  std::vector<std::string> out;
+  out.reserve(passes.size());
+  for (const auto& p : passes) out.push_back(p.name);
+  return out;
+}
+
+const PassMetrics* PipelineMetrics::find(const std::string& name) const {
+  for (const auto& p : passes)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+void PipelineMetrics::append(const PipelineMetrics& other) {
+  passes.insert(passes.end(), other.passes.begin(), other.passes.end());
+}
+
+std::string PipelineMetrics::render() const {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-12s %10s %9s %12s  %s\n", "pass",
+                "time", "allocs", "bytes", "counters");
+  os << buf;
+  for (const auto& p : passes) {
+    std::snprintf(buf, sizeof(buf), "%-12s %8.1fus %9llu %12llu  ",
+                  p.name.c_str(), p.seconds * 1e6,
+                  static_cast<unsigned long long>(p.alloc_count),
+                  static_cast<unsigned long long>(p.alloc_bytes));
+    os << buf;
+    for (size_t i = 0; i < p.counters.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << p.counters[i].first << "=" << p.counters[i].second;
+    }
+    os << "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%-12s %8.1fus %9s %12llu\n", "total",
+                total_seconds() * 1e6, "",
+                static_cast<unsigned long long>(total_alloc_bytes()));
+  os << buf;
+  return os.str();
+}
+
+std::string PipelineMetrics::to_json() const {
+  std::ostringstream os;
+  char num[64];
+  std::snprintf(num, sizeof(num), "%.9f", total_seconds());
+  os << "{\n  \"total_seconds\": " << num << ",\n  \"passes\": [";
+  for (size_t i = 0; i < passes.size(); ++i) {
+    const PassMetrics& p = passes[i];
+    std::snprintf(num, sizeof(num), "%.9f", p.seconds);
+    os << (i > 0 ? "," : "") << "\n    {\"name\": \"" << p.name
+       << "\", \"seconds\": " << num << ", \"alloc_count\": " << p.alloc_count
+       << ", \"alloc_bytes\": " << p.alloc_bytes << ", \"counters\": {";
+    for (size_t j = 0; j < p.counters.size(); ++j) {
+      os << (j > 0 ? ", " : "") << "\"" << p.counters[j].first
+         << "\": " << p.counters[j].second;
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace fsopt
+
+// ---------------------------------------------------------------------------
+// Global allocation hooks.
+//
+// Replacing the global operator new/delete is how the per-pass allocation
+// counters are fed without touching every allocation site.  All forms
+// forward to malloc/free (the default behaviour) plus one thread-local
+// increment; matching deletes never touch the tally, so the counters are
+// cumulative-allocation meters, not live-heap meters.
+// ---------------------------------------------------------------------------
+#ifndef FSOPT_NO_ALLOC_METRICS
+
+// gcc's -Wmismatched-new-delete cannot see that these definitions *are*
+// the allocator: after inlining it pairs a caller's operator new with the
+// free() below and flags a mismatch that cannot happen.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+
+inline void fsopt_count_alloc(std::size_t n) noexcept {
+  fsopt::tl_alloc.count += 1;
+  fsopt::tl_alloc.bytes += n;
+}
+
+inline void* fsopt_alloc_or_throw(std::size_t n) {
+  if (n == 0) n = 1;
+  for (;;) {
+    void* p = std::malloc(n);
+    if (p != nullptr) return p;
+    std::new_handler h = std::get_new_handler();
+    if (h == nullptr) throw std::bad_alloc();
+    h();
+  }
+}
+
+inline void* fsopt_aligned_alloc_or_throw(std::size_t n, std::size_t align) {
+  if (n == 0) n = 1;
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                       n) == 0)
+      return p;
+    std::new_handler h = std::get_new_handler();
+    if (h == nullptr) throw std::bad_alloc();
+    h();
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  fsopt_count_alloc(n);
+  return fsopt_alloc_or_throw(n);
+}
+void* operator new[](std::size_t n) {
+  fsopt_count_alloc(n);
+  return fsopt_alloc_or_throw(n);
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  fsopt_count_alloc(n);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  fsopt_count_alloc(n);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  fsopt_count_alloc(n);
+  return fsopt_aligned_alloc_or_throw(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  fsopt_count_alloc(n);
+  return fsopt_aligned_alloc_or_throw(n, static_cast<std::size_t>(a));
+}
+
+// Sized/aligned/nothrow forms forward to the basic ones, so the compiler
+// sees every delete of a new-ed pointer reach the replaced operator
+// delete (gcc's -Wmismatched-new-delete flags a direct free() here).
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  operator delete(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  operator delete(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t a) noexcept {
+  operator delete(p, a);
+}
+void operator delete(void* p, std::size_t, std::align_val_t a) noexcept {
+  operator delete(p, a);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t a) noexcept {
+  operator delete(p, a);
+}
+
+#endif  // FSOPT_NO_ALLOC_METRICS

@@ -1,0 +1,73 @@
+// Per-pass instrumentation for the compile pipeline (driver/pipeline.h).
+//
+// Every pass records its wall time (support/timing.h stopwatch), the
+// allocation traffic it caused on the compiling thread, and a small set of
+// named domain counters (functions parsed, CFG nodes built, RSD records
+// merged, decisions made, ...).  The collected PipelineMetrics serializes
+// to JSON for `fsoptc --timings=json` and the compile-throughput bench.
+//
+// Allocation counters come from thread-local tallies updated by the
+// replaced global operator new (metrics.cpp).  They count cumulative
+// allocations/bytes — a faithful proxy for arena pressure in a compiler
+// whose passes allocate AST/CFG/RSD nodes and rarely free mid-pass.  The
+// tallies are per-thread, so parallel matrix compilation attributes
+// traffic to the pass that caused it, not to whoever runs concurrently.
+// Define FSOPT_NO_ALLOC_METRICS to keep the stock allocator (counters
+// then read zero).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/common.h"
+
+namespace fsopt {
+
+/// Cumulative allocation tally of the calling thread.
+struct AllocCounters {
+  u64 count = 0;  // operator-new calls
+  u64 bytes = 0;  // bytes requested
+};
+
+/// Snapshot of the calling thread's allocation tally; subtract two
+/// snapshots to meter a region.
+AllocCounters thread_alloc_counters();
+
+/// What one pass did: wall time, allocation traffic, domain counters.
+struct PassMetrics {
+  std::string name;
+  double seconds = 0.0;
+  u64 alloc_count = 0;
+  u64 alloc_bytes = 0;
+  /// Named domain counters in insertion order (deterministic).
+  std::vector<std::pair<std::string, i64>> counters;
+
+  void set_counter(const std::string& key, i64 value);
+  /// Value of a counter, or -1 when the pass did not record it.
+  i64 counter(const std::string& key) const;
+};
+
+/// Metrics of one front-to-back pipeline run, in pass execution order.
+struct PipelineMetrics {
+  std::vector<PassMetrics> passes;
+
+  double total_seconds() const;
+  u64 total_alloc_bytes() const;
+  /// Pass names in execution order — the pipeline's structural signature;
+  /// identical for every thread count by construction.
+  std::vector<std::string> pass_names() const;
+  const PassMetrics* find(const std::string& name) const;
+
+  /// Append another run's passes (used to join front + back halves).
+  void append(const PipelineMetrics& other);
+
+  /// Human-readable table (for `fsoptc --timings`).
+  std::string render() const;
+  /// Machine-readable form (for `fsoptc --timings=json` and benches):
+  ///   {"total_seconds": ..., "passes": [{"name": ..., "seconds": ...,
+  ///    "alloc_count": ..., "alloc_bytes": ..., "counters": {...}}, ...]}
+  std::string to_json() const;
+};
+
+}  // namespace fsopt

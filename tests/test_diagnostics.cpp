@@ -1,0 +1,316 @@
+// Golden-message coverage for the PPL diagnostics path and the metered
+// pass pipeline: invalid programs must produce the exact messages (with
+// source locations) that tools/fsoptc.cpp prints, and the pipeline must
+// report the fixed pass structure with populated timings — identically
+// for any thread count of a matrix compile.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "driver/pipeline.h"
+#include "support/timing.h"
+
+namespace fsopt {
+namespace {
+
+/// Compile expecting failure; returns the thrown CompileError.
+CompileError compile_expect_error(std::string_view src,
+                                  const ParamOverrides& overrides = {}) {
+  try {
+    CompileOptions o;
+    o.overrides = overrides;
+    compile_source(src, o);
+  } catch (const CompileError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected CompileError for:\n" << src;
+  return CompileError("unreachable");
+}
+
+/// The diagnostic whose message contains `needle`, or nullptr.
+const Diagnostic* find_diag(const CompileError& e, const std::string& needle) {
+  for (const Diagnostic& d : e.diagnostics)
+    if (d.message.find(needle) != std::string::npos) return &d;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Golden messages: representative invalid PPL programs.
+// ---------------------------------------------------------------------
+
+TEST(Diagnostics, AssignmentTypeMismatchHasLocation) {
+  CompileError e = compile_expect_error(
+      "param NPROCS = 2;\n"
+      "real r;\n"
+      "void main(int pid) {\n"
+      "  r = 1;\n"
+      "}\n");
+  ASSERT_EQ(e.diagnostics.size(), 1u);
+  const Diagnostic& d = e.diagnostics[0];
+  EXPECT_EQ(d.message, "assignment type mismatch: real = int");
+  EXPECT_EQ(d.severity, DiagSeverity::kError);
+  EXPECT_TRUE(d.loc.valid());
+  EXPECT_EQ(d.loc.line, 4);
+  // what() carries the same rendered text the engine produced.
+  EXPECT_NE(std::string(e.what()).find(d.message), std::string::npos);
+}
+
+TEST(Diagnostics, UnknownVariable) {
+  CompileError e = compile_expect_error(
+      "param NPROCS = 2;\n"
+      "void main(int pid) {\n"
+      "  y = 1;\n"
+      "}\n");
+  const Diagnostic* d = find_diag(e, "unknown variable 'y'");
+  ASSERT_NE(d, nullptr) << e.what();
+  EXPECT_EQ(d->loc.line, 3);
+}
+
+TEST(Diagnostics, SeveralErrorsReportedTogether) {
+  // Sema records problems and throws once, so a driver can show all of
+  // them in a single run instead of one per recompile.
+  CompileError e = compile_expect_error(
+      "param NPROCS = 2;\n"
+      "real r;\n"
+      "void main(int pid) {\n"
+      "  r = 1;\n"
+      "  y = 1;\n"
+      "}\n");
+  EXPECT_GE(e.diagnostics.size(), 2u) << e.what();
+  EXPECT_NE(find_diag(e, "assignment type mismatch"), nullptr);
+  EXPECT_NE(find_diag(e, "unknown variable 'y'"), nullptr);
+}
+
+TEST(Diagnostics, UnknownParamInConstantExpression) {
+  CompileError e = compile_expect_error(
+      "param NPROCS = 2;\n"
+      "int x[NOSUCH];\n"
+      "void main(int pid) { }\n");
+  const Diagnostic* d =
+      find_diag(e, "unknown param 'NOSUCH' in constant expression");
+  ASSERT_NE(d, nullptr) << e.what();
+  EXPECT_EQ(d->loc.line, 2);
+}
+
+TEST(Diagnostics, UnknownOverrideNamesAreIgnored) {
+  // Override sets are shared across workload variants, so an override
+  // naming a param this source does not declare is not an error.
+  CompileOptions o;
+  o.overrides = {{"NOSUCH", 8}};
+  Compiled c = compile_source("param NPROCS = 2; void main(int pid) { }", o);
+  EXPECT_EQ(c.nprocs(), 2);
+}
+
+TEST(Diagnostics, MalformedSpmdMain) {
+  CompileError wrong_sig = compile_expect_error(
+      "param NPROCS = 2;\nvoid main() { }\n");
+  EXPECT_NE(find_diag(wrong_sig, "void main(int pid)"), nullptr)
+      << wrong_sig.what();
+
+  CompileError wrong_ret = compile_expect_error(
+      "param NPROCS = 2;\nint main(int pid) { return 0; }\n");
+  EXPECT_NE(find_diag(wrong_ret, "void main(int pid)"), nullptr)
+      << wrong_ret.what();
+
+  CompileError missing = compile_expect_error("int x;\n");
+  EXPECT_NE(find_diag(missing, "no 'main'"), nullptr) << missing.what();
+}
+
+TEST(Diagnostics, ParserErrorsCarryDiagnosticsToo) {
+  CompileError e = compile_expect_error(
+      "param NPROCS = 2;\nvoid main(int pid) { x = ; }\n");
+  ASSERT_FALSE(e.diagnostics.empty());
+  EXPECT_TRUE(e.diagnostics.front().loc.valid());
+  EXPECT_EQ(e.diagnostics.front().severity, DiagSeverity::kError);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline metrics: pass structure, timings, determinism.
+// ---------------------------------------------------------------------
+
+const char* kSmall =
+    "param NPROCS = 4;\n"
+    "param N = 64;\n"
+    "struct cell { int count; int pad; };\n"
+    "struct cell cells[64];\n"
+    "void main(int pid) {\n"
+    "  int i;\n"
+    "  for (i = pid; i < N; i = i + NPROCS) {\n"
+    "    cells[i].count = cells[i].count + 1;\n"
+    "  }\n"
+    "  barrier();\n"
+    "}\n";
+
+std::vector<std::string> expected_pass_names() {
+  return {"parse",       "sema",   "callgraph", "pdv",
+          "percf",       "phases", "sideeffects", "report",
+          "decide",      "layout", "codegen"};
+}
+
+TEST(PipelineMetrics, PassNamesAndOrdering) {
+  EXPECT_EQ(compile_pass_names(), expected_pass_names());
+  // Front half is exactly the (source, overrides)-only prefix.
+  EXPECT_EQ(front_pipeline().pass_names(),
+            (std::vector<std::string>{"parse", "sema"}));
+}
+
+TEST(PipelineMetrics, MeteredCompilePopulatesEveryPass) {
+  PipelineMetrics m;
+  CompileOptions opt;
+  opt.optimize = true;
+  Compiled c = compile_source_metered(kSmall, opt, &m);
+  EXPECT_EQ(m.pass_names(), expected_pass_names());
+  for (const PassMetrics& p : m.passes) {
+    EXPECT_GE(p.seconds, 0.0) << p.name;
+  }
+  EXPECT_GT(m.total_seconds(), 0.0);
+  // Structure of the compiled program shows up in the domain counters.
+  ASSERT_NE(m.find("parse"), nullptr);
+  EXPECT_EQ(m.find("parse")->counter("functions"), 1);
+  EXPECT_EQ(m.find("sema")->counter("nprocs"), 4);
+  EXPECT_GE(m.find("pdv")->counter("pdvs"), 1);
+  EXPECT_GE(m.find("codegen")->counter("instructions"), 1);
+  EXPECT_EQ(c.nprocs(), 4);
+}
+
+TEST(PipelineMetrics, PassStructureIndependentOfOptions) {
+  PipelineMetrics with, without;
+  CompileOptions opt;
+  opt.optimize = true;
+  compile_source_metered(kSmall, opt, &with);
+  opt.optimize = false;
+  compile_source_metered(kSmall, opt, &without);
+  EXPECT_EQ(with.pass_names(), without.pass_names());
+}
+
+TEST(PipelineMetrics, JsonAndTableRender) {
+  PipelineMetrics m;
+  compile_source_metered(kSmall, CompileOptions{}, &m);
+  std::string json = m.to_json();
+  EXPECT_NE(json.find("\"passes\""), std::string::npos);
+  EXPECT_NE(json.find("\"sideeffects\""), std::string::npos);
+  EXPECT_NE(m.render().find("codegen"), std::string::npos);
+}
+
+TEST(PipelineMetrics, StopwatchAndBestOfBehave) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+  int calls = 0;
+  double t = best_of(3, [&] { ++calls; });
+  EXPECT_EQ(calls, 3);
+  EXPECT_GE(t, 0.0);
+}
+
+#ifndef FSOPT_NO_ALLOC_METRICS
+TEST(PipelineMetrics, AllocationTrafficIsMetered) {
+  AllocCounters before = thread_alloc_counters();
+  auto* sink = new std::vector<int>(4096);
+  AllocCounters after = thread_alloc_counters();
+  delete sink;
+  EXPECT_GT(after.count, before.count);
+  EXPECT_GE(after.bytes - before.bytes, 4096 * sizeof(int));
+
+  PipelineMetrics m;
+  compile_source_metered(kSmall, CompileOptions{}, &m);
+  EXPECT_GT(m.total_alloc_bytes(), 0u);
+  EXPECT_GT(m.find("parse")->alloc_count, 0u);
+}
+#endif
+
+// ---------------------------------------------------------------------
+// Pipeline vs. retained reference path, and matrix determinism.
+// ---------------------------------------------------------------------
+
+TEST(Pipeline, MatchesReferencePath) {
+  for (bool optimize : {false, true}) {
+    CompileOptions opt;
+    opt.optimize = optimize;
+    Compiled pipe = compile_source(kSmall, opt);
+    Compiled ref = compile_source_reference(kSmall, opt);
+    EXPECT_EQ(compile_fingerprint(pipe), compile_fingerprint(ref))
+        << "optimize=" << optimize;
+  }
+}
+
+TEST(Pipeline, SharedFrontMatchesPrivateFront) {
+  FrontHalf front = run_front(kSmall, {});
+  CompileOptions n, c;
+  n.optimize = false;
+  c.optimize = true;
+  Compiled from_shared_n = run_back(front, n);
+  Compiled from_shared_c = run_back(front, c);
+  EXPECT_EQ(compile_fingerprint(from_shared_n),
+            compile_fingerprint(compile_source(kSmall, n)));
+  EXPECT_EQ(compile_fingerprint(from_shared_c),
+            compile_fingerprint(compile_source(kSmall, c)));
+  // Both backs share one Program instance.
+  EXPECT_EQ(from_shared_n.prog.get(), from_shared_c.prog.get());
+}
+
+TEST(Pipeline, MatrixIsDeterministicAcrossThreadCounts) {
+  std::string src2 =
+      "param NPROCS = 2; int x[16];\n"
+      "void main(int pid) { x[pid] = pid; barrier(); }\n";
+  CompileOptions n, c;
+  n.optimize = false;
+  c.optimize = true;
+  std::vector<CompileJob> jobs = {
+      {"small/N", kSmall, n},
+      {"small/C", kSmall, c},
+      {"tiny/N", src2, n},
+      {"tiny/C", src2, c},
+  };
+  std::vector<CompiledVariant> base = compile_matrix(jobs, 1);
+  ASSERT_EQ(base.size(), jobs.size());
+  // N owns the group front; C rides on it.
+  EXPECT_FALSE(base[0].front_shared);
+  EXPECT_TRUE(base[1].front_shared);
+  EXPECT_FALSE(base[2].front_shared);
+  EXPECT_TRUE(base[3].front_shared);
+  for (int threads : {2, 4, 8}) {
+    std::vector<CompiledVariant> again = compile_matrix(jobs, threads);
+    ASSERT_EQ(again.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(compile_fingerprint(again[i].compiled),
+                compile_fingerprint(base[i].compiled))
+          << jobs[i].label << " threads=" << threads;
+      EXPECT_EQ(again[i].metrics.pass_names(), expected_pass_names())
+          << jobs[i].label;
+      EXPECT_EQ(again[i].front_shared, base[i].front_shared)
+          << jobs[i].label;
+    }
+  }
+}
+
+TEST(Pipeline, MatrixSeparatesDifferentOverrides) {
+  // Same text, different overrides: must NOT share a front.
+  std::vector<CompileJob> jobs = {
+      {"p4", kSmall, CompileOptions{}},
+      {"p8", kSmall, CompileOptions{}},
+  };
+  jobs[1].options.overrides["NPROCS"] = 8;
+  std::vector<CompiledVariant> r = compile_matrix(jobs, 2);
+  EXPECT_FALSE(r[0].front_shared);
+  EXPECT_FALSE(r[1].front_shared);
+  EXPECT_EQ(r[0].compiled.nprocs(), 4);
+  EXPECT_EQ(r[1].compiled.nprocs(), 8);
+}
+
+TEST(Pipeline, WorkloadMatrixJobsCoverEveryVersion) {
+  std::vector<CompileJob> jobs = workload_matrix_jobs();
+  // Ten workloads, each with N and C; some with a P version too.
+  EXPECT_GE(jobs.size(), 20u);
+  int n = 0, c = 0, p = 0;
+  for (const CompileJob& j : jobs) {
+    if (j.label.size() >= 2 && j.label.substr(j.label.size() - 2) == "/N") ++n;
+    if (j.label.size() >= 2 && j.label.substr(j.label.size() - 2) == "/C") ++c;
+    if (j.label.size() >= 2 && j.label.substr(j.label.size() - 2) == "/P") ++p;
+  }
+  EXPECT_EQ(n, 10);
+  EXPECT_EQ(c, 10);
+  EXPECT_GE(p, 1);
+}
+
+}  // namespace
+}  // namespace fsopt

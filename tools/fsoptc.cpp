@@ -13,10 +13,17 @@
 //   --miss [B,B,...]    trace-driven miss study (default 16,128)
 //   --ksr               execution time under the KSR2 model
 //   --disasm            dump the bytecode
+//   --timings[=json]    per-pass compile metrics (pipeline pass times,
+//                       allocation traffic, domain counters); =json emits
+//                       the machine-readable form
 //   --threads N         worker threads for the miss-study replays
 //                       (default: FSOPT_THREADS env, else all cores)
 //
 // With no action flags, behaves like `--transforms --miss --ksr`.
+//
+// Compile errors are reported one diagnostic per line to stderr as
+//   FILE:LINE:COL: error: MESSAGE
+// and exit with status 1.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +49,8 @@ struct Cli {
   bool miss = false;
   bool ksr = false;
   bool disasm = false;
+  bool timings = false;
+  bool timings_json = false;
   std::vector<i64> blocks = {16, 128};
 };
 
@@ -52,7 +61,7 @@ struct Cli {
                "[--block N]\n"
                "              [--no-optimize] [--report] [--transforms]\n"
                "              [--rewrite] [--run] [--miss [B,...]] [--ksr]\n"
-               "              [--disasm] [--threads N]\n");
+               "              [--disasm] [--timings[=json]] [--threads N]\n");
   std::exit(2);
 }
 
@@ -97,6 +106,10 @@ Cli parse_cli(int argc, char** argv) {
       cli.ksr = true;
     } else if (a == "--disasm") {
       cli.disasm = true;
+    } else if (a == "--timings") {
+      cli.timings = true;
+    } else if (a == "--timings=json") {
+      cli.timings = cli.timings_json = true;
     } else if (a == "--threads") {
       set_experiment_threads(std::atoi(next().c_str()));
     } else if (a.rfind("--", 0) == 0) {
@@ -109,7 +122,7 @@ Cli parse_cli(int argc, char** argv) {
   }
   if (cli.file.empty()) usage(nullptr);
   if (!cli.report && !cli.transforms && !cli.rewrite && !cli.run &&
-      !cli.miss && !cli.ksr && !cli.disasm) {
+      !cli.miss && !cli.ksr && !cli.disasm && !cli.timings) {
     cli.transforms = cli.miss = cli.ksr = true;
   }
   return cli;
@@ -131,8 +144,15 @@ int main(int argc, char** argv) {
 
   try {
     cli.options.optimize = cli.optimize;
-    Compiled c = compile_source(source, cli.options);
+    PipelineMetrics metrics;
+    Compiled c = compile_source_metered(source, cli.options, &metrics);
 
+    if (cli.timings) {
+      if (cli.timings_json)
+        std::printf("%s", metrics.to_json().c_str());
+      else
+        std::printf("--- pass timings ---\n%s\n", metrics.render().c_str());
+    }
     if (cli.report)
       std::printf("--- sharing classification ---\n%s\n",
                   c.report.render().c_str());
@@ -180,7 +200,22 @@ int main(int argc, char** argv) {
                   static_cast<long long>(t.ksr.queue_cycles));
     }
   } catch (const CompileError& e) {
-    std::fprintf(stderr, "fsoptc: compile error:\n%s", e.what());
+    // One line per diagnostic, compiler-style, with the source location.
+    if (e.diagnostics.empty()) {
+      std::fprintf(stderr, "%s: error: %s\n", cli.file.c_str(), e.what());
+    } else {
+      for (const Diagnostic& d : e.diagnostics) {
+        const char* sev = d.severity == DiagSeverity::kError     ? "error"
+                          : d.severity == DiagSeverity::kWarning ? "warning"
+                                                                 : "note";
+        if (d.loc.valid())
+          std::fprintf(stderr, "%s:%d:%d: %s: %s\n", cli.file.c_str(),
+                       d.loc.line, d.loc.col, sev, d.message.c_str());
+        else
+          std::fprintf(stderr, "%s: %s: %s\n", cli.file.c_str(), sev,
+                       d.message.c_str());
+      }
+    }
     return 1;
   } catch (const InternalError& e) {
     std::fprintf(stderr, "fsoptc: %s\n", e.what());
