@@ -20,11 +20,17 @@
 //   --target-refs N   replicate the recorded trace to at least N refs
 //                     (default 4000000)
 //   --repeats N       best-of-N timing (default 3)
+//
+// The bench also audits the observability layer (src/obs/): it hard-fails
+// if replay stats differ with tracing on vs. off, or if the cost of the
+// *disabled* instrumentation on a sharded replay exceeds 2% of the replay
+// itself.
 #include <cmath>
 #include <thread>
 
 #include "baseline_cache.h"
 #include "bench_util.h"
+#include "obs/obs.h"
 #include "support/timing.h"
 
 using namespace fsopt;
@@ -220,6 +226,66 @@ int main(int argc, char** argv) {
               "%s\n",
               sblk.c_str(), cpus, cpus == 1 ? "" : "s",
               scaling.render().c_str());
+
+  // --- 4: observability audit ------------------------------------------
+  // (a) stats must be bit-identical with tracing on vs. off; (b) the
+  // disabled instrumentation reached during one sharded replay must cost
+  // < 2% of that replay.  Tracing state is restored afterwards, so a run
+  // under FSOPT_TRACE still dumps its trace at exit.
+  {
+    bool was_enabled = obs::enabled();
+    int audit_shards = effective_shard_count(4, sp);
+    TracePartition part = partition_trace(trace, scale_block, audit_shards);
+
+    obs::set_enabled(true);
+    obs::TraceData before = obs::collect();
+    ShardedReplayResult traced =
+        replay_partitioned(part, sp, nullptr, audit_shards);
+    obs::TraceData after = obs::collect();
+    size_t events =
+        (after.span_count() - before.span_count()) +
+        (after.counter_count() - before.counter_count());
+
+    obs::set_enabled(false);
+    ShardedReplayResult untraced =
+        replay_partitioned(part, sp, nullptr, audit_shards);
+    double t_replay = best_of(repeats, [&] {
+      untraced = replay_partitioned(part, sp, nullptr, audit_shards);
+    });
+    if (traced.stats != untraced.stats || traced.stats != serial_stats) {
+      std::fprintf(stderr,
+                   "bench_replay_throughput: replay stats differ with "
+                   "tracing on vs off — tracing must not perturb results\n");
+      std::exit(1);
+    }
+
+    // Disabled-instrumentation cost, measured directly: N inert spans.
+    constexpr int kProbeSpans = 1'000'000;
+    double t_probe = time_once([&] {
+      for (int i = 0; i < kProbeSpans; ++i) obs::Span probe("bench", "p");
+    });
+    obs::set_enabled(was_enabled);
+
+    double per_event = t_probe / kProbeSpans;
+    double overhead = static_cast<double>(events) * per_event;
+    double frac = overhead / t_replay;
+    std::printf("--- obs overhead audit (%d shards) ---\n"
+                "%zu events/replay x %.1fns disabled cost = %.3gus "
+                "(%.4f%% of %.3fs replay; budget 2%%)\n\n",
+                audit_shards, events, per_event * 1e9, overhead * 1e6,
+                100 * frac, t_replay);
+    if (frac >= 0.02) {
+      std::fprintf(stderr,
+                   "bench_replay_throughput: disabled tracing overhead "
+                   "%.2f%% exceeds the 2%% budget\n",
+                   100 * frac);
+      std::exit(1);
+    }
+    json.add(workload, "obs_events_per_sharded_replay",
+             static_cast<double>(events));
+    json.add(workload, "obs_disabled_ns_per_event", per_event * 1e9);
+    json.add(workload, "obs_disabled_overhead_frac", frac);
+  }
 
   json.write(bo.json_path);
   return 0;

@@ -16,15 +16,20 @@
 #include <vector>
 
 #include "driver/experiment.h"
+#include "obs/obs.h"
+#include "support/json.h"
 #include "support/stats.h"
 #include "workloads/workloads.h"
 
 namespace fsopt::benchx {
 
 /// Flags shared by every bench binary:
-///   --threads N   worker threads for replays/sweeps (default: the
-///                 FSOPT_THREADS env var, else hardware concurrency)
-///   --json PATH   also write machine-readable results to PATH
+///   --threads N       worker threads for replays/sweeps (default: the
+///                     FSOPT_THREADS env var, else hardware concurrency)
+///   --json PATH       also write machine-readable results to PATH
+///   --trace-out PATH  write a Chrome trace of the run to PATH at exit
+///                     (same as FSOPT_TRACE=PATH)
+///   --trace-summary   print the runtime-trace aggregation at exit
 struct BenchOptions {
   int threads = 0;
   std::string json_path;
@@ -52,8 +57,14 @@ inline BenchOptions parse_bench_args(int& argc, char** argv,
       o.threads = std::atoi(next());
     } else if (a == "--json") {
       o.json_path = next();
+    } else if (a == "--trace-out") {
+      obs::set_trace_path(next());
+    } else if (a == "--trace-summary") {
+      obs::set_summary(true);
     } else if (!allow_unknown) {
-      std::fprintf(stderr, "usage: %s [--threads N] [--json PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--json PATH] "
+                   "[--trace-out PATH] [--trace-summary]\n",
                    argv[0]);
       std::exit(2);
     } else {
@@ -62,6 +73,7 @@ inline BenchOptions parse_bench_args(int& argc, char** argv,
   }
   if (allow_unknown) argc = out;
   set_experiment_threads(o.threads);
+  if (obs::enabled()) obs::set_thread_name("main");
   return o;
 }
 
@@ -78,32 +90,28 @@ class JsonReport {
   /// message if the file cannot be written.
   void write(const std::string& path) const {
     if (path.empty()) return;
+    std::string doc;
+    json::Writer w(&doc, 2);
+    w.begin_object().key("results").begin_array();
+    for (const Row& r : rows_) {
+      w.begin_object()
+          .key("workload").value(r.workload)
+          .key("metric").value(r.metric)
+          .key("value").value(r.value)
+          .end_object();
+    }
+    w.end_array().end_object();
     std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
+    if (f == nullptr ||
+        std::fwrite(doc.data(), 1, doc.size(), f) != doc.size()) {
       std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
       std::exit(1);
     }
-    std::fprintf(f, "{\n  \"results\": [");
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      std::fprintf(f, "%s\n    {\"workload\": \"%s\", \"metric\": \"%s\", "
-                      "\"value\": %.17g}",
-                   i > 0 ? "," : "", escape(rows_[i].workload).c_str(),
-                   escape(rows_[i].metric).c_str(), rows_[i].value);
-    }
-    std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
     std::printf("(json results written to %s)\n", path.c_str());
   }
 
  private:
-  static std::string escape(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    return out;
-  }
   struct Row {
     std::string workload;
     std::string metric;

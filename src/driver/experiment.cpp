@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 
+#include "obs/obs.h"
 #include "workloads/workloads.h"
 
 namespace fsopt {
@@ -112,11 +113,19 @@ void TraceStudyResult::merge(const TraceStudyResult& other) {
 }
 
 TraceBuffer record_trace(const Compiled& c) {
+  obs::Span span("record", "record_trace");
   TraceBuffer trace;
   MachineOptions mo;
   mo.sink = &trace;
   Machine machine(c.code, mo);
   machine.run();
+  if (span.active()) {
+    span.arg("refs", static_cast<double>(trace.size()));
+    span.arg("nprocs", static_cast<double>(c.nprocs()));
+    double sec = span.elapsed_seconds();
+    if (sec > 0.0)
+      span.arg("refs_per_sec", static_cast<double>(trace.size()) / sec);
+  }
   return trace;
 }
 
@@ -155,6 +164,7 @@ ShardJobResult
 replay_one_shard(const TracePartition& part, int k,
                  const CacheParams& params,
                  const AddressMap* attribution) {
+  obs::Span span("replay", "shard");
   ShardJobResult r;
   if (attribution != nullptr)
     r.datum.assign(attribution->ranges().size() + 1, MissStats{});
@@ -177,6 +187,20 @@ replay_one_shard(const TracePartition& part, int k,
       int i = attribution->index_of(ref.addr);
       r.datum[i >= 0 ? static_cast<size_t>(i) : r.datum.size() - 1].add(o);
     }
+  }
+  if (span.active()) {
+    // One span per shard with throughput and the miss-class counters —
+    // shard imbalance and miss mix read straight off the trace.
+    double refs = static_cast<double>(sh.refs.size() + sh.splits.size());
+    span.arg("shard", static_cast<double>(k));
+    span.arg("block", static_cast<double>(params.block_size));
+    span.arg("refs", refs);
+    double sec = span.elapsed_seconds();
+    if (sec > 0.0) span.arg("refs_per_sec", refs / sec);
+    span.arg("cold", static_cast<double>(r.stats.cold));
+    span.arg("replacement", static_cast<double>(r.stats.replacement));
+    span.arg("true_sharing", static_cast<double>(r.stats.true_sharing));
+    span.arg("false_sharing", static_cast<double>(r.stats.false_sharing));
   }
   return r;
 }
@@ -251,13 +275,29 @@ ShardedReplayResult replay_trace_sharded(const TraceBuffer& trace,
   if (k == 1) {
     ShardedReplayResult out;
     out.shards = 1;
+    obs::Span span("replay", "config");
     CacheSim sim(params, attribution);
     trace.replay(sim);
     out.stats = sim.stats();
     out.by_datum = sim.by_datum();
+    if (span.active()) {
+      span.arg("block", static_cast<double>(params.block_size));
+      span.arg("refs", static_cast<double>(trace.size()));
+      double sec = span.elapsed_seconds();
+      if (sec > 0.0)
+        span.arg("refs_per_sec", static_cast<double>(trace.size()) / sec);
+    }
     return out;
   }
-  TracePartition part = partition_trace(trace, params.block_size, k);
+  TracePartition part;
+  {
+    obs::Span span("replay", "partition");
+    part = partition_trace(trace, params.block_size, k);
+    if (span.active()) {
+      span.arg("block", static_cast<double>(params.block_size));
+      span.arg("shards", static_cast<double>(k));
+    }
+  }
   return replay_partitioned(part, params, attribution, threads);
 }
 
@@ -301,8 +341,16 @@ TraceStudyResult replay_trace_study(const TraceBuffer& trace,
     // the same result and the ordered merge below is deterministic.
     std::vector<std::unique_ptr<CacheSim>> sims(nconf);
     parallel_for_each(threads, nconf, [&](size_t i) {
+      obs::Span span("replay", "config");
       sims[i] = std::make_unique<CacheSim>(params[i], attribution);
       trace.replay(*sims[i]);
+      if (span.active()) {
+        span.arg("block", static_cast<double>(params[i].block_size));
+        span.arg("refs", static_cast<double>(trace.size()));
+        double sec = span.elapsed_seconds();
+        if (sec > 0.0)
+          span.arg("refs_per_sec", static_cast<double>(trace.size()) / sec);
+      }
     });
     for (size_t i = 0; i < sims.size(); ++i) {
       out.by_block[block_sizes[i]] = sims[i]->stats();
@@ -318,7 +366,12 @@ TraceStudyResult replay_trace_study(const TraceBuffer& trace,
   // (configuration, shard) pair replays into its own slot.
   std::vector<TracePartition> parts(nconf);
   parallel_for_each(threads, nconf, [&](size_t i) {
+    obs::Span span("replay", "partition");
     parts[i] = partition_trace(trace, block_sizes[i], shard_count[i]);
+    if (span.active()) {
+      span.arg("block", static_cast<double>(block_sizes[i]));
+      span.arg("shards", static_cast<double>(shard_count[i]));
+    }
   });
   std::vector<size_t> offset(nconf + 1, 0);
   for (size_t i = 0; i < nconf; ++i)
@@ -398,6 +451,11 @@ std::vector<CompiledVariant> compile_matrix(
   // Phase 1: one parse+sema front per unique (source, overrides).
   parallel_for_each(threads, groups.size(), [&](size_t g) {
     const CompileJob& job = jobs[groups[g].jobs.front()];
+    obs::Span span("compile", "front");
+    if (span.active()) {
+      span.arg("job", job.label);
+      span.arg("sharers", static_cast<double>(groups[g].jobs.size()));
+    }
     groups[g].front = run_front(job.source, job.options.overrides);
   });
 
@@ -407,6 +465,8 @@ std::vector<CompiledVariant> compile_matrix(
   std::vector<CompiledVariant> out(jobs.size());
   parallel_for_each(threads, jobs.size(), [&](size_t i) {
     const Group& g = groups[group_of[i]];
+    obs::Span span("compile", "back");
+    if (span.active()) span.arg("job", jobs[i].label);
     out[i].label = jobs[i].label;
     out[i].compiled = run_back(g.front, jobs[i].options, &out[i].metrics);
     out[i].front_shared = g.jobs.size() > 1 && g.jobs.front() != i;
@@ -485,6 +545,8 @@ SpeedupCurve speedup_sweep(std::string_view source,
   out.speedup.assign(procs.size(), 0.0);
   if (threads <= 0) threads = experiment_threads();
   parallel_for_each(threads, procs.size(), [&](size_t i) {
+    obs::Span span("sweep", "compile_and_time");
+    if (span.active()) span.arg("procs", static_cast<double>(procs[i]));
     TimingResult t = compile_and_time(source, procs[i], base);
     out.speedup[i] = static_cast<double>(base_cycles) /
                      static_cast<double>(t.cycles);

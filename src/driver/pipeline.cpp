@@ -2,6 +2,7 @@
 
 #include "lang/parser.h"
 #include "lang/sema.h"
+#include "obs/obs.h"
 #include "support/timing.h"
 
 namespace fsopt {
@@ -16,6 +17,7 @@ void PassManager::run(PassContext& ctx, PipelineMetrics& metrics) const {
   for (const Pass& p : passes_) {
     PassMetrics pm;
     pm.name = p.name;
+    obs::Span span("pass", p.name);
     AllocCounters before = thread_alloc_counters();
     Stopwatch sw;
     p.run(ctx, pm);
@@ -23,6 +25,10 @@ void PassManager::run(PassContext& ctx, PipelineMetrics& metrics) const {
     AllocCounters after = thread_alloc_counters();
     pm.alloc_count = after.count - before.count;
     pm.alloc_bytes = after.bytes - before.bytes;
+    if (span.active()) {
+      span.arg("alloc_count", static_cast<double>(pm.alloc_count));
+      span.arg("alloc_bytes", static_cast<double>(pm.alloc_bytes));
+    }
     metrics.passes.push_back(std::move(pm));
   }
 }

@@ -1,0 +1,357 @@
+// Minimal JSON writing shared by every emitter in the tree.
+//
+// Three hand-rolled JSON serializers had grown independently — the bench
+// harness's JsonReport, PipelineMetrics::to_json, and (new) the runtime
+// trace writer.  Each re-derived escaping and comma placement; this header
+// is the one copy.  Writer is a streaming builder over a std::string:
+// begin/end object/array, key, value — no DOM, no allocation beyond the
+// output string.  `validate` is a strict syntax checker used by the tests
+// to assert emitted documents are well-formed without pulling in a parser
+// dependency.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "support/common.h"
+
+namespace fsopt::json {
+
+/// JSON string-escape `s` (quotes, backslashes, control characters; bytes
+/// >= 0x20 pass through, so UTF-8 input stays UTF-8).  Returns the body
+/// only — no surrounding quotes.
+inline std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Streaming JSON builder.  With `indent > 0` the output is pretty-printed
+/// (that many spaces per nesting level); with 0 it is compact.  Usage:
+///
+///   std::string out;
+///   json::Writer w(&out, 2);
+///   w.begin_object().key("xs").begin_array().value(1.5).end_array()
+///    .end_object();
+///
+/// The writer only sequences tokens (commas, newlines, indentation); it is
+/// the caller's job to call key() exactly once before each object member
+/// value.
+class Writer {
+ public:
+  explicit Writer(std::string* out, int indent = 0)
+      : out_(out), indent_(indent) {}
+
+  Writer& begin_object() {
+    before_value();
+    *out_ += '{';
+    stack_.push_back({false, 0});
+    return *this;
+  }
+  Writer& end_object() { return close('}'); }
+
+  Writer& begin_array() {
+    before_value();
+    *out_ += '[';
+    stack_.push_back({true, 0});
+    return *this;
+  }
+  Writer& end_array() { return close(']'); }
+
+  Writer& key(std::string_view k) {
+    separate();
+    *out_ += '"';
+    *out_ += escape(k);
+    *out_ += indent_ > 0 ? "\": " : "\":";
+    have_key_ = true;
+    return *this;
+  }
+
+  /// Number with an explicit printf format (e.g. "%.9f" for pass times).
+  Writer& value(double v, const char* fmt) {
+    before_value();
+    if (!std::isfinite(v)) {
+      *out_ += "null";  // JSON has no inf/nan
+      return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    *out_ += buf;
+    return *this;
+  }
+
+  /// Strings, bools, integers and floating-point values, dispatched on the
+  /// argument type.  Doubles default to %.17g (round-trip exact).
+  template <typename T>
+  Writer& value(const T& v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      before_value();
+      *out_ += v ? "true" : "false";
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return value(static_cast<double>(v), "%.17g");
+    } else if constexpr (std::is_integral_v<T>) {
+      before_value();
+      char buf[32];
+      if constexpr (std::is_signed_v<T>)
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+      else
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+      *out_ += buf;
+    } else {  // string-ish
+      before_value();
+      *out_ += '"';
+      *out_ += escape(std::string_view(v));
+      *out_ += '"';
+    }
+    return *this;
+  }
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+
+  Writer& null() {
+    before_value();
+    *out_ += "null";
+    return *this;
+  }
+
+  /// True once every begin_* has been matched by its end_*.
+  bool done() const { return stack_.empty() && wrote_root_; }
+
+ private:
+  struct Level {
+    bool array;
+    size_t count;
+  };
+
+  void newline(size_t depth) {
+    if (indent_ == 0) return;
+    *out_ += '\n';
+    out_->append(depth * static_cast<size_t>(indent_), ' ');
+  }
+
+  // Comma/newline before a key (in objects) or a value (in arrays).
+  void separate() {
+    if (stack_.empty()) return;
+    if (stack_.back().count++ > 0) *out_ += ',';
+    newline(stack_.size());
+  }
+
+  void before_value() {
+    if (have_key_) {
+      have_key_ = false;  // key() already separated
+      return;
+    }
+    separate();
+    if (stack_.empty()) wrote_root_ = true;
+  }
+
+  Writer& close(char c) {
+    bool empty = stack_.back().count == 0;
+    stack_.pop_back();
+    if (!empty) newline(stack_.size());
+    *out_ += c;
+    if (stack_.empty()) {
+      wrote_root_ = true;
+      if (indent_ > 0) *out_ += '\n';
+    }
+    return *this;
+  }
+
+  std::string* out_;
+  int indent_;
+  std::vector<Level> stack_;
+  bool have_key_ = false;
+  bool wrote_root_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Validation (tests only — not a parser; values are never materialized).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+struct Cursor {
+  std::string_view s;
+  size_t i = 0;
+  int depth = 0;
+
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  void skip_ws() {
+    while (!eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                      s[i] == '\r'))
+      ++i;
+  }
+  bool lit(std::string_view word) {
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+};
+
+inline bool check_value(Cursor& c);
+
+inline bool check_string(Cursor& c) {
+  if (c.eof() || c.peek() != '"') return false;
+  ++c.i;
+  while (!c.eof()) {
+    char ch = c.s[c.i];
+    if (static_cast<unsigned char>(ch) < 0x20) return false;
+    if (ch == '"') {
+      ++c.i;
+      return true;
+    }
+    if (ch == '\\') {
+      ++c.i;
+      if (c.eof()) return false;
+      char e = c.s[c.i];
+      if (e == 'u') {
+        for (int k = 1; k <= 4; ++k)
+          if (c.i + static_cast<size_t>(k) >= c.s.size() ||
+              !std::isxdigit(static_cast<unsigned char>(
+                  c.s[c.i + static_cast<size_t>(k)])))
+            return false;
+        c.i += 4;
+      } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                 e != 'f' && e != 'n' && e != 'r' && e != 't') {
+        return false;
+      }
+    }
+    ++c.i;
+  }
+  return false;  // unterminated
+}
+
+inline bool check_number(Cursor& c) {
+  size_t start = c.i;
+  if (!c.eof() && c.peek() == '-') ++c.i;
+  size_t digits = c.i;
+  while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek())))
+    ++c.i;
+  if (c.i == digits) return false;
+  if (c.s[digits] == '0' && c.i - digits > 1) return false;  // no leading 0
+  if (!c.eof() && c.peek() == '.') {
+    ++c.i;
+    size_t frac = c.i;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek())))
+      ++c.i;
+    if (c.i == frac) return false;
+  }
+  if (!c.eof() && (c.peek() == 'e' || c.peek() == 'E')) {
+    ++c.i;
+    if (!c.eof() && (c.peek() == '+' || c.peek() == '-')) ++c.i;
+    size_t exp = c.i;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek())))
+      ++c.i;
+    if (c.i == exp) return false;
+  }
+  return c.i > start;
+}
+
+inline bool check_object(Cursor& c) {
+  ++c.i;  // '{'
+  c.skip_ws();
+  if (!c.eof() && c.peek() == '}') {
+    ++c.i;
+    return true;
+  }
+  for (;;) {
+    c.skip_ws();
+    if (!check_string(c)) return false;
+    c.skip_ws();
+    if (c.eof() || c.peek() != ':') return false;
+    ++c.i;
+    if (!check_value(c)) return false;
+    c.skip_ws();
+    if (c.eof()) return false;
+    if (c.peek() == ',') {
+      ++c.i;
+      continue;
+    }
+    if (c.peek() == '}') {
+      ++c.i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool check_array(Cursor& c) {
+  ++c.i;  // '['
+  c.skip_ws();
+  if (!c.eof() && c.peek() == ']') {
+    ++c.i;
+    return true;
+  }
+  for (;;) {
+    if (!check_value(c)) return false;
+    c.skip_ws();
+    if (c.eof()) return false;
+    if (c.peek() == ',') {
+      ++c.i;
+      continue;
+    }
+    if (c.peek() == ']') {
+      ++c.i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool check_value(Cursor& c) {
+  c.skip_ws();
+  if (c.eof()) return false;
+  if (++c.depth > 512) return false;  // nesting bomb guard
+  bool ok;
+  switch (c.peek()) {
+    case '{': ok = check_object(c); break;
+    case '[': ok = check_array(c); break;
+    case '"': ok = check_string(c); break;
+    case 't': ok = c.lit("true"); break;
+    case 'f': ok = c.lit("false"); break;
+    case 'n': ok = c.lit("null"); break;
+    default: ok = check_number(c); break;
+  }
+  --c.depth;
+  return ok;
+}
+
+}  // namespace detail
+
+/// True iff `doc` is exactly one well-formed JSON value (strict: no
+/// trailing garbage, no unterminated strings, no bare NaN/Infinity).
+inline bool validate(std::string_view doc) {
+  detail::Cursor c{doc};
+  if (!detail::check_value(c)) return false;
+  c.skip_ws();
+  return c.eof();
+}
+
+}  // namespace fsopt::json

@@ -5,6 +5,8 @@
 #include <new>
 #include <sstream>
 
+#include "support/json.h"
+
 namespace fsopt {
 
 namespace {
@@ -86,24 +88,24 @@ std::string PipelineMetrics::render() const {
 }
 
 std::string PipelineMetrics::to_json() const {
-  std::ostringstream os;
-  char num[64];
-  std::snprintf(num, sizeof(num), "%.9f", total_seconds());
-  os << "{\n  \"total_seconds\": " << num << ",\n  \"passes\": [";
-  for (size_t i = 0; i < passes.size(); ++i) {
-    const PassMetrics& p = passes[i];
-    std::snprintf(num, sizeof(num), "%.9f", p.seconds);
-    os << (i > 0 ? "," : "") << "\n    {\"name\": \"" << p.name
-       << "\", \"seconds\": " << num << ", \"alloc_count\": " << p.alloc_count
-       << ", \"alloc_bytes\": " << p.alloc_bytes << ", \"counters\": {";
-    for (size_t j = 0; j < p.counters.size(); ++j) {
-      os << (j > 0 ? ", " : "") << "\"" << p.counters[j].first
-         << "\": " << p.counters[j].second;
-    }
-    os << "}}";
+  std::string out;
+  json::Writer w(&out, 2);
+  w.begin_object();
+  w.key("total_seconds").value(total_seconds(), "%.9f");
+  w.key("passes").begin_array();
+  for (const PassMetrics& p : passes) {
+    w.begin_object();
+    w.key("name").value(p.name);
+    w.key("seconds").value(p.seconds, "%.9f");
+    w.key("alloc_count").value(p.alloc_count);
+    w.key("alloc_bytes").value(p.alloc_bytes);
+    w.key("counters").begin_object();
+    for (const auto& [k, v] : p.counters) w.key(k).value(v);
+    w.end_object();
+    w.end_object();
   }
-  os << "\n  ]\n}\n";
-  return os.str();
+  w.end_array().end_object();
+  return out;
 }
 
 }  // namespace fsopt
@@ -183,6 +185,24 @@ void* operator new[](std::size_t n, std::align_val_t a) {
   fsopt_count_alloc(n);
   return fsopt_aligned_alloc_or_throw(n, static_cast<std::size_t>(a));
 }
+// Aligned nothrow forms: without these, an aligned nothrow allocation
+// falls back to the default library operator (uncounted) while its
+// delete reaches the replaced aligned free above — count and allocate
+// them the same way as every other replaced form.
+void* operator new(std::size_t n, std::align_val_t a,
+                   const std::nothrow_t&) noexcept {
+  fsopt_count_alloc(n);
+  void* p = nullptr;
+  std::size_t align = static_cast<std::size_t>(a);
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     n == 0 ? 1 : n) != 0)
+    return nullptr;
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t a,
+                     const std::nothrow_t& tag) noexcept {
+  return operator new(n, a, tag);
+}
 
 // Sized/aligned/nothrow forms forward to the basic ones, so the compiler
 // sees every delete of a new-ed pointer reach the replaced operator
@@ -205,6 +225,14 @@ void operator delete(void* p, std::size_t, std::align_val_t a) noexcept {
   operator delete(p, a);
 }
 void operator delete[](void* p, std::size_t, std::align_val_t a) noexcept {
+  operator delete(p, a);
+}
+void operator delete(void* p, std::align_val_t a,
+                     const std::nothrow_t&) noexcept {
+  operator delete(p, a);
+}
+void operator delete[](void* p, std::align_val_t a,
+                       const std::nothrow_t&) noexcept {
   operator delete(p, a);
 }
 

@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <string>
+
+#include "obs/obs.h"
 
 namespace fsopt {
 
@@ -18,7 +21,11 @@ ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = default_thread_count();
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      if (obs::enabled())
+        obs::set_thread_name("pool-worker-" + std::to_string(i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -36,6 +43,7 @@ void ThreadPool::submit(std::function<void()> job) {
     std::lock_guard<std::mutex> lk(mu_);
     FSOPT_CHECK(!stop_, "submit on a stopping ThreadPool");
     queue_.push_back(std::move(job));
+    obs::counter("pool.queue_depth", static_cast<double>(queue_.size()));
   }
   work_cv_.notify_one();
 }
@@ -59,10 +67,12 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       job = std::move(queue_.front());
       queue_.pop_front();
+      obs::counter("pool.queue_depth", static_cast<double>(queue_.size()));
       ++running_;
     }
     std::exception_ptr error;
     try {
+      obs::Span span("pool", "job");
       job();
     } catch (...) {
       error = std::current_exception();

@@ -1,0 +1,252 @@
+// Tests for the runtime tracing subsystem (src/obs/): span recording,
+// nesting and thread attribution, Chrome-trace JSON well-formedness,
+// ThreadPool instrumentation (queue-depth counters, busy spans), summary
+// aggregation, and the must-not-perturb-results guarantee — replay stats
+// bit-identical with tracing on vs. off, alongside the shard-determinism
+// suite in test_shard.cpp.
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "driver/experiment.h"
+#include "obs/trace_writer.h"
+#include "support/json.h"
+#include "support/thread_pool.h"
+
+namespace fsopt {
+namespace {
+
+/// Every obs test starts from a clean, enabled recorder and leaves
+/// tracing disabled so the rest of the suite runs uninstrumented.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+const obs::ThreadLog* log_with_span(const obs::TraceData& data,
+                                    std::string_view name) {
+  for (const obs::ThreadLog& t : data.threads)
+    for (const obs::SpanEvent& s : t.spans)
+      if (s.name == name) return &t;
+  return nullptr;
+}
+
+const obs::SpanEvent* find_span(const obs::TraceData& data,
+                                std::string_view name) {
+  for (const obs::ThreadLog& t : data.threads)
+    for (const obs::SpanEvent& s : t.spans)
+      if (s.name == name) return &s;
+  return nullptr;
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  obs::set_enabled(false);
+  {
+    obs::Span span("test", "invisible");
+    EXPECT_FALSE(span.active());
+    span.arg("k", 1.0);  // must be a no-op, not a crash
+  }
+  obs::counter("test.counter", 42.0);
+  obs::TraceData data = obs::collect();
+  EXPECT_EQ(data.span_count(), 0u);
+  EXPECT_EQ(data.counter_count(), 0u);
+}
+
+TEST_F(ObsTest, SpanNestingAndThreadAttribution) {
+  obs::set_thread_name("obs-test-main");
+  {
+    obs::Span outer("test", "outer");
+    ASSERT_TRUE(outer.active());
+    {
+      obs::Span inner("test", "inner");
+      ASSERT_TRUE(inner.active());
+    }
+  }
+  std::thread worker([] {
+    obs::set_thread_name("obs-test-worker");
+    obs::Span span("test", "elsewhere");
+  });
+  worker.join();
+
+  obs::TraceData data = obs::collect();
+  const obs::SpanEvent* outer = find_span(data, "outer");
+  const obs::SpanEvent* inner = find_span(data, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The inner interval nests inside the outer one.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns,
+            outer->start_ns + outer->dur_ns);
+
+  // Same thread for outer/inner; a different, named thread for the third.
+  const obs::ThreadLog* main_log = log_with_span(data, "outer");
+  const obs::ThreadLog* worker_log = log_with_span(data, "elsewhere");
+  ASSERT_NE(main_log, nullptr);
+  ASSERT_NE(worker_log, nullptr);
+  EXPECT_EQ(main_log, log_with_span(data, "inner"));
+  EXPECT_NE(main_log->tid, worker_log->tid);
+  EXPECT_EQ(main_log->name, "obs-test-main");
+  EXPECT_EQ(worker_log->name, "obs-test-worker");
+}
+
+TEST_F(ObsTest, ChromeTraceJsonRoundTripsThroughValidator) {
+  {
+    obs::Span span("cat/with\"quote", "na\\me\nwith\tescapes");
+    span.arg("refs", 12345.0);
+    span.arg("label", "fmm/C \"quoted\"");
+  }
+  obs::counter("queue depth \\ odd", 7.0);
+  obs::TraceData data = obs::collect();
+  ASSERT_EQ(data.span_count(), 1u);
+  ASSERT_EQ(data.counter_count(), 1u);
+
+  std::string doc = obs::chrome_trace_json(data);
+  EXPECT_TRUE(json::validate(doc)) << doc;
+  // The document carries the span (escaped), its args, the counter, and
+  // the trace-event framing.
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("na\\\\me\\nwith\\tescapes"), std::string::npos);
+  EXPECT_NE(doc.find("\"refs\": 12345"), std::string::npos);
+  EXPECT_NE(doc.find("fmm/C \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"M\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ThreadPoolRecordsQueueDepthAndBusySpans) {
+  constexpr int kJobs = 6;
+  {
+    ThreadPool pool(1);
+    // Block the single worker so later submissions pile up in the queue.
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    pool.submit([gate] { gate.wait(); });
+    for (int i = 0; i < kJobs - 1; ++i) pool.submit([] {});
+    release.set_value();
+    pool.wait();
+  }
+
+  obs::TraceData data = obs::collect();
+  // Busy accounting: one "pool"/"job" span per executed job, with
+  // nonzero total busy time (the gated job waited on the future).
+  size_t pool_spans = 0;
+  for (const obs::ThreadLog& t : data.threads)
+    for (const obs::SpanEvent& s : t.spans)
+      if (std::string_view(s.category) == "pool" && s.name == "job")
+        ++pool_spans;
+  EXPECT_EQ(pool_spans, static_cast<size_t>(kJobs));
+
+  // Queue depth was sampled on every submit and pop, and the backlog
+  // behind the gated job was observed.
+  double max_depth = 0;
+  size_t depth_samples = 0;
+  for (const obs::ThreadLog& t : data.threads)
+    for (const obs::CounterEvent& c : t.counters)
+      if (std::string_view(c.name) == "pool.queue_depth") {
+        ++depth_samples;
+        max_depth = std::max(max_depth, c.value);
+      }
+  EXPECT_EQ(depth_samples, static_cast<size_t>(2 * kJobs));
+  EXPECT_GE(max_depth, static_cast<double>(kJobs - 1));
+
+  obs::TraceSummary summary = obs::summarize(data);
+  EXPECT_EQ(summary.pool_workers, 1);
+  EXPECT_GT(summary.pool_busy_seconds, 0.0);
+  EXPECT_GT(summary.pool_utilization(), 0.0);
+  EXPECT_LE(summary.pool_utilization(), 1.0 + 1e-9);
+}
+
+const char* kProgram =
+    "param NPROCS = 4;\n"
+    "param N = 64;\n"
+    "struct cell { int count; int pad; };\n"
+    "struct cell cells[64];\n"
+    "void main(int pid) {\n"
+    "  int i;\n"
+    "  for (i = pid; i < N; i = i + NPROCS) {\n"
+    "    cells[i].count = cells[i].count + 1;\n"
+    "  }\n"
+    "  barrier();\n"
+    "}\n";
+
+TEST_F(ObsTest, EndToEndRunEmitsPassRecordAndReplaySpans) {
+  Compiled c = compile_source(kProgram, CompileOptions{});
+  TraceBuffer trace = record_trace(c);
+  // Force sharding so per-shard spans exist even for this small trace.
+  replay_trace_study(trace, c, {16, 64}, 32 * 1024, nullptr,
+                     /*threads=*/2, /*shards=*/2);
+
+  obs::TraceData data = obs::collect();
+  EXPECT_NE(find_span(data, "parse"), nullptr);
+  EXPECT_NE(find_span(data, "codegen"), nullptr);
+  EXPECT_NE(find_span(data, "record_trace"), nullptr);
+  EXPECT_NE(find_span(data, "partition"), nullptr);
+  const obs::SpanEvent* shard = find_span(data, "shard");
+  ASSERT_NE(shard, nullptr);
+  // Shard spans carry throughput and the miss-class counters.
+  bool has_refs = false, has_fs = false;
+  for (const obs::Arg& a : shard->args) {
+    has_refs |= a.key == "refs";
+    has_fs |= a.key == "false_sharing";
+  }
+  EXPECT_TRUE(has_refs);
+  EXPECT_TRUE(has_fs);
+
+  obs::TraceSummary summary = obs::summarize(data);
+  EXPECT_FALSE(summary.slowest_pass.empty());
+  EXPECT_GT(summary.wall_seconds, 0.0);
+  std::string rendered = obs::render_summary(data);
+  EXPECT_NE(rendered.find("pass"), std::string::npos);
+  EXPECT_NE(rendered.find("slowest pass"), std::string::npos);
+}
+
+TEST_F(ObsTest, StatsBitIdenticalWithTracingOnAndOff) {
+  // The observability guarantee: instrumentation reads clocks and writes
+  // its own buffers, never simulator state — so every stat of a traced
+  // run equals the untraced run exactly.
+  obs::set_enabled(false);
+  Compiled off_c = compile_source(kProgram, CompileOptions{});
+  TraceStudyResult off =
+      run_trace_study(off_c, paper_block_sizes(), 32 * 1024, nullptr,
+                      /*threads=*/2, /*shards=*/2);
+
+  obs::set_enabled(true);
+  Compiled on_c = compile_source(kProgram, CompileOptions{});
+  TraceStudyResult on =
+      run_trace_study(on_c, paper_block_sizes(), 32 * 1024, nullptr,
+                      /*threads=*/2, /*shards=*/2);
+
+  EXPECT_EQ(compile_fingerprint(off_c), compile_fingerprint(on_c));
+  EXPECT_EQ(off.refs, on.refs);
+  ASSERT_EQ(off.by_block.size(), on.by_block.size());
+  for (const auto& [block, stats] : off.by_block) {
+    ASSERT_TRUE(on.by_block.count(block)) << "block " << block;
+    EXPECT_EQ(stats, on.by_block.at(block)) << "block " << block;
+  }
+  // And the traced run actually recorded something.
+  EXPECT_GT(obs::collect().span_count(), 0u);
+}
+
+TEST_F(ObsTest, ResetDropsEventsButKeepsThreadNames) {
+  obs::set_thread_name("keeper");
+  { obs::Span span("test", "gone-after-reset"); }
+  ASSERT_GE(obs::collect().span_count(), 1u);
+  obs::reset();
+  obs::TraceData data = obs::collect();
+  EXPECT_EQ(data.span_count(), 0u);
+  bool found = false;
+  for (const obs::ThreadLog& t : data.threads) found |= t.name == "keeper";
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace fsopt

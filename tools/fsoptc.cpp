@@ -18,6 +18,12 @@
 //                       the machine-readable form
 //   --threads N         worker threads for the miss-study replays
 //                       (default: FSOPT_THREADS env, else all cores)
+//   --trace-out PATH    write a Chrome trace of the whole run (passes,
+//                       pool jobs, replay shards) to PATH at exit; same
+//                       as FSOPT_TRACE=PATH in the environment
+//   --trace-summary     print the runtime-trace aggregation (per-category
+//                       time, pool utilization, slowest pass/shard) to
+//                       stderr at exit
 //
 // With no action flags, behaves like `--transforms --miss --ksr`.
 //
@@ -32,6 +38,7 @@
 #include <vector>
 
 #include "driver/experiment.h"
+#include "obs/obs.h"
 #include "transform/source_rewrite.h"
 
 using namespace fsopt;
@@ -61,7 +68,8 @@ struct Cli {
                "[--block N]\n"
                "              [--no-optimize] [--report] [--transforms]\n"
                "              [--rewrite] [--run] [--miss [B,...]] [--ksr]\n"
-               "              [--disasm] [--timings[=json]] [--threads N]\n");
+               "              [--disasm] [--timings[=json]] [--threads N]\n"
+               "              [--trace-out PATH] [--trace-summary]\n");
   std::exit(2);
 }
 
@@ -112,6 +120,10 @@ Cli parse_cli(int argc, char** argv) {
       cli.timings = cli.timings_json = true;
     } else if (a == "--threads") {
       set_experiment_threads(std::atoi(next().c_str()));
+    } else if (a == "--trace-out") {
+      obs::set_trace_path(next());
+    } else if (a == "--trace-summary") {
+      obs::set_summary(true);
     } else if (a.rfind("--", 0) == 0) {
       usage(("unknown option " + a).c_str());
     } else if (cli.file.empty()) {
@@ -132,6 +144,7 @@ Cli parse_cli(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   Cli cli = parse_cli(argc, argv);
+  if (obs::enabled()) obs::set_thread_name("main");
 
   std::ifstream in(cli.file);
   if (!in) {
