@@ -129,6 +129,25 @@ TraceBuffer record_trace(const Compiled& c) {
   return trace;
 }
 
+EncodedTrace record_encoded_trace(const Compiled& c) {
+  obs::Span span("record", "record_encoded_trace");
+  TraceEncoder enc;
+  MachineOptions mo;
+  mo.sink = &enc;
+  Machine machine(c.code, mo);
+  machine.run();
+  EncodedTrace trace = enc.take();
+  if (span.active()) {
+    span.arg("refs", static_cast<double>(trace.size()));
+    span.arg("nprocs", static_cast<double>(c.nprocs()));
+    span.arg("bytes_per_ref", trace.bytes_per_ref());
+    double sec = span.elapsed_seconds();
+    if (sec > 0.0)
+      span.arg("refs_per_sec", static_cast<double>(trace.size()) / sec);
+  }
+  return trace;
+}
+
 namespace {
 
 /// Traces below this size replay faster than they partition; auto
@@ -301,12 +320,18 @@ ShardedReplayResult replay_trace_sharded(const TraceBuffer& trace,
   return replay_partitioned(part, params, attribution, threads);
 }
 
-TraceStudyResult replay_trace_study(const TraceBuffer& trace,
-                                    const Compiled& c,
-                                    const std::vector<i64>& block_sizes,
-                                    i64 l1_bytes,
-                                    const AddressMap* attribution,
-                                    int threads, int shards) {
+namespace {
+
+/// Study body shared by the raw and encoded trace overloads (`Trace` is
+/// TraceBuffer or EncodedTrace; both provide size()/replay() and a
+/// partition_trace overload).
+template <typename Trace>
+TraceStudyResult replay_trace_study_impl(const Trace& trace,
+                                         const Compiled& c,
+                                         const std::vector<i64>& block_sizes,
+                                         i64 l1_bytes,
+                                         const AddressMap* attribution,
+                                         int threads, int shards) {
   if (threads <= 0) threads = experiment_threads();
   size_t nconf = block_sizes.size();
   std::vector<CacheParams> params(nconf);
@@ -336,26 +361,18 @@ TraceStudyResult replay_trace_study(const TraceBuffer& trace,
   out.refs = trace.size();
 
   if (!any_sharded) {
-    // One independent replay per block size: each job owns its CacheSim
-    // and writes into its own slot, so any interleaving of jobs yields
-    // the same result and the ordered merge below is deterministic.
-    std::vector<std::unique_ptr<CacheSim>> sims(nconf);
-    parallel_for_each(threads, nconf, [&](size_t i) {
-      obs::Span span("replay", "config");
-      sims[i] = std::make_unique<CacheSim>(params[i], attribution);
-      trace.replay(*sims[i]);
-      if (span.active()) {
-        span.arg("block", static_cast<double>(params[i].block_size));
-        span.arg("refs", static_cast<double>(trace.size()));
-        double sec = span.elapsed_seconds();
-        if (sec > 0.0)
-          span.arg("refs_per_sec", static_cast<double>(trace.size()) / sec);
-      }
-    });
-    for (size_t i = 0; i < sims.size(); ++i) {
-      out.by_block[block_sizes[i]] = sims[i]->stats();
+    // Single pass: every block size is a plane of one multi-replay, so
+    // the stream is walked once (per plane group) instead of once per
+    // configuration.  Plane grouping across threads never affects any
+    // plane's input sequence, so the result is bit-identical to
+    // independent per-configuration replays for any thread count.
+    if (nconf == 0) return out;
+    MultiReplayResult multi =
+        replay_multi(trace, params, attribution, threads);
+    for (size_t i = 0; i < nconf; ++i) {
+      out.by_block[block_sizes[i]] = multi.stats[i];
       if (attribution != nullptr)
-        out.by_datum[block_sizes[i]] = sims[i]->by_datum();
+        out.by_datum[block_sizes[i]] = std::move(multi.by_datum[i]);
     }
     return out;
   }
@@ -396,12 +413,34 @@ TraceStudyResult replay_trace_study(const TraceBuffer& trace,
   return out;
 }
 
+}  // namespace
+
+TraceStudyResult replay_trace_study(const TraceBuffer& trace,
+                                    const Compiled& c,
+                                    const std::vector<i64>& block_sizes,
+                                    i64 l1_bytes,
+                                    const AddressMap* attribution,
+                                    int threads, int shards) {
+  return replay_trace_study_impl(trace, c, block_sizes, l1_bytes,
+                                 attribution, threads, shards);
+}
+
+TraceStudyResult replay_trace_study(const EncodedTrace& trace,
+                                    const Compiled& c,
+                                    const std::vector<i64>& block_sizes,
+                                    i64 l1_bytes,
+                                    const AddressMap* attribution,
+                                    int threads, int shards) {
+  return replay_trace_study_impl(trace, c, block_sizes, l1_bytes,
+                                 attribution, threads, shards);
+}
+
 TraceStudyResult run_trace_study(const Compiled& c,
                                  const std::vector<i64>& block_sizes,
                                  i64 l1_bytes,
                                  const AddressMap* attribution,
                                  int threads, int shards) {
-  TraceBuffer trace = record_trace(c);
+  EncodedTrace trace = record_encoded_trace(c);
   return replay_trace_study(trace, c, block_sizes, l1_bytes, attribution,
                             threads, shards);
 }

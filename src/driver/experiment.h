@@ -18,7 +18,9 @@
 #include "driver/pipeline.h"
 #include "interp/machine.h"
 #include "sim/ksr.h"
+#include "sim/multi.h"
 #include "support/thread_pool.h"
+#include "trace/encode.h"
 #include "trace/shard.h"
 
 namespace fsopt {
@@ -57,6 +59,12 @@ AddressMap build_address_map(const Compiled& c);
 /// Execute `c` once in trace mode, recording every shared reference.
 TraceBuffer record_trace(const Compiled& c);
 
+/// Execute `c` once in trace mode, recording straight into the
+/// compressed columnar form (trace/encode.h) — the interpreter's
+/// reference stream is encoded as it is emitted, so the raw 16-byte
+/// stream never exists in memory (~3-5x smaller resident trace).
+EncodedTrace record_encoded_trace(const Compiled& c);
+
 /// Replay a recorded trace against each block size, fanning the replays
 /// across `threads` workers (0 = the experiment_threads() knob).  `c`
 /// only supplies nprocs/total_bytes.
@@ -68,6 +76,11 @@ TraceBuffer record_trace(const Compiled& c);
 /// cross-config fan-out leaves idle, and skips sharding for small traces
 /// where partitioning would cost more than it buys.  Results are
 /// bit-identical for every thread and shard count.
+/// When no sharding applies (the common sweep shape), the block sizes
+/// are simulated in a single pass over the trace (sim/multi.h) with the
+/// planes divided among the workers; with sharding, each configuration
+/// partitions and replays as before.  Either way the results are
+/// bit-identical to independent per-configuration replays.
 TraceStudyResult replay_trace_study(const TraceBuffer& trace,
                                     const Compiled& c,
                                     const std::vector<i64>& block_sizes,
@@ -75,8 +88,19 @@ TraceStudyResult replay_trace_study(const TraceBuffer& trace,
                                     const AddressMap* attribution = nullptr,
                                     int threads = 0, int shards = 0);
 
-/// record_trace + replay_trace_study: the interpreter executes exactly
-/// once however many block sizes are studied.
+/// Same study from a compressed trace: the single-pass path decodes
+/// chunk by chunk (never materializing the raw stream), and the sharded
+/// path partitions straight from the encoded chunks.
+TraceStudyResult replay_trace_study(const EncodedTrace& trace,
+                                    const Compiled& c,
+                                    const std::vector<i64>& block_sizes,
+                                    i64 l1_bytes = 32 * 1024,
+                                    const AddressMap* attribution = nullptr,
+                                    int threads = 0, int shards = 0);
+
+/// record_encoded_trace + replay_trace_study: the interpreter executes
+/// exactly once however many block sizes are studied, the recording is
+/// held compressed, and the replay walks it once for all block sizes.
 TraceStudyResult run_trace_study(const Compiled& c,
                                  const std::vector<i64>& block_sizes,
                                  i64 l1_bytes = 32 * 1024,

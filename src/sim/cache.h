@@ -47,8 +47,22 @@ struct AccessOutcome {
 /// into the outcome reported for the whole reference: invalidations sum,
 /// upgrades OR, the most severe kind wins, the last servicing cache is
 /// reported.  CoherentCache::access applies this internally; the sharded
-/// replay applies it when a split reference's blocks land in different
-/// shards.
+/// and multi-plane replays apply it when a split reference's blocks land
+/// in different shards.
+///
+/// Severity follows the classifier's word-union semantics, not the raw
+/// enum order: a reference misses with *true* sharing when ANY word it
+/// touches was remotely written, so a (true-sharing, false-sharing) part
+/// pair merges to true sharing — real communication happened, even
+/// though one block's words were untouched.  (The enum orders false
+/// sharing last; merging by enum value misclassified exactly this mixed
+/// case.)
+inline int split_kind_severity(MissKind k) {
+  // kHit < kCold < kReplacement < kFalseSharing < kTrueSharing
+  static constexpr int kRank[5] = {0, 1, 2, 4, 3};
+  return kRank[static_cast<size_t>(k)];
+}
+
 inline AccessOutcome combine_split_outcomes(const AccessOutcome* parts,
                                             size_t n) {
   AccessOutcome worst;
@@ -56,7 +70,7 @@ inline AccessOutcome combine_split_outcomes(const AccessOutcome* parts,
     const AccessOutcome& o = parts[i];
     worst.invalidated += o.invalidated;
     worst.upgrade = worst.upgrade || o.upgrade;
-    if (static_cast<int>(o.kind) > static_cast<int>(worst.kind))
+    if (split_kind_severity(o.kind) > split_kind_severity(worst.kind))
       worst.kind = o.kind;
     if (o.source_proc >= 0) worst.source_proc = o.source_proc;
   }

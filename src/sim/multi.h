@@ -1,0 +1,129 @@
+// Single-pass multi-configuration replay.
+//
+// A block-size sweep replays the same reference stream once per cache
+// configuration.  MultiCacheSim walks the stream exactly once and
+// simulates every requested configuration (*plane*) simultaneously —
+// and, unlike N independent replays, it can *share* every piece of
+// simulator state that does not depend on the block size:
+//
+//   * word write-versions and last-writer (the classifier's input) are
+//     per 4-byte word, not per block — one shared array serves all
+//     planes, written once per reference instead of once per plane;
+//   * each processor's last-access time per *word* is likewise shared;
+//     a plane's per-block snapshot (CoherentCache's `snapshot_`) is
+//     recoverable as the max over the words of that plane's block, so
+//     the per-plane snapshot arrays disappear entirely;
+//   * what remains per plane is the directory itself — a sharer bitmask
+//     and modified-owner byte per plane-block — plus a direct-mapped
+//     victim table consulted only on misses.
+//
+// The payoff: the all-planes hit test (the overwhelmingly common case)
+// is one directory-mask load per plane plus two shared-array stores
+// total, and every coherence transition is O(1) — upgrades and write
+// fills replace the mask, evictions clear one bit, downgrades clear the
+// owner byte.  Planes where the reference does not plainly hit take a
+// miss path that reproduces CoherentCache's transitions (upgrade,
+// invalidation counts, downgrades, eviction, word-union miss
+// classification) exactly.  Even the classification scans are mostly
+// O(1): a 16-word *granule* layer keeps, per granule, each processor's
+// last access plus the top write event and the second-writer's maximum
+// version, which decides "written by another processor since q's last
+// access" for whole granules at once — a word-granular scan remains
+// only for the one ambiguous case (the top writer is q itself and the
+// runner-up bound cannot rule a foreign write out).
+//
+// The sharer bitmask is templated on machine width (16-bit masks when
+// the trace has at most 16 processors, 64-bit otherwise), and per-plane
+// counters accumulate in dense per-batch tallies folded into MissStats
+// at batch end, keeping the hot loop free of scattered read-modify-
+// write traffic.
+//
+// Exactness: the shared arrays are a change of representation, not of
+// model.  Versions and snapshots only ever enter strict order
+// comparisons ("was this word written after processor q last touched
+// this block"), and the shared per-reference counter preserves the
+// trace order of every such pair of events, so each plane's outcome
+// stream is identical to a dedicated CoherentCache replay — the
+// differential suite (tests/test_multi_replay.cpp) enforces this across
+// the full workload matrix, and bench_replay_throughput hard-fails on
+// any counter drift.  Planes the bitmask engine cannot express
+// (associativity > 1, the word-invalidate ablation, non-power-of-two
+// geometry) fall back to a private CoherentCache per plane within the
+// same walk, so replay_multi accepts any CacheParams mix.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cache.h"
+#include "trace/encode.h"
+
+namespace fsopt {
+
+/// One configuration's results out of a multi-plane replay.
+struct MultiReplayResult {
+  /// Per-plane aggregate stats, in the order the params were given.
+  std::vector<MissStats> stats;
+  /// Per-plane per-datum attribution (empty unless an AddressMap was
+  /// supplied to the replay).
+  std::vector<std::map<std::string, MissStats>> by_datum;
+};
+
+/// TraceSink replaying one stream into any number of configuration
+/// planes at once.  Feed it references (in trace order), then read the
+/// per-plane stats.
+class MultiCacheSim : public TraceSink {
+ public:
+  /// One plane per entry of `params`.  The params may differ in any
+  /// field (the planes are fully independent simulations); a block-size
+  /// sweep passes params identical up to block_size.
+  explicit MultiCacheSim(const std::vector<CacheParams>& params,
+                         const AddressMap* attribution = nullptr);
+  ~MultiCacheSim() override;
+
+  void on_ref(const MemRef& ref) override { on_batch(&ref, 1); }
+  void on_batch(const MemRef* refs, size_t n) override;
+
+  size_t planes() const { return stats_.size(); }
+  const MissStats& stats(size_t plane) const { return stats_[plane]; }
+  /// Dense per-datum counters of one plane (AddressMap order plus the
+  /// trailing "<other>" slot); empty unless attribution was supplied.
+  const std::vector<MissStats>& datum_stats(size_t plane) const {
+    return datum_stats_[plane];
+  }
+  /// String-keyed per-datum map of one plane, materialized on call.
+  std::map<std::string, MissStats> by_datum(size_t plane) const;
+
+  /// Interface of the shared bitmask engine (implemented, and selected
+  /// by machine width, in sim/multi.cpp).
+  struct SharedPlanes;
+
+ private:
+  std::unique_ptr<SharedPlanes> shared_;
+  /// Planes the shared engine cannot express, as (plane index, sim).
+  std::vector<std::pair<size_t, CoherentCache>> fallback_;
+  const AddressMap* attribution_;
+  std::vector<MissStats> stats_;                     // [plane]
+  std::vector<std::vector<MissStats>> datum_stats_;  // [plane][slot]
+};
+
+/// Walk `trace` once and simulate every configuration in `params`
+/// simultaneously.  With `threads` > 1 the planes are divided among up
+/// to min(threads, planes) workers, each walking the (cheap, encoded)
+/// stream once for its plane subset — results are bit-identical for any
+/// thread count because planes never interact.  0 = default_thread_count()
+/// (the FSOPT_THREADS env var, else hardware concurrency).
+MultiReplayResult replay_multi(const EncodedTrace& trace,
+                               const std::vector<CacheParams>& params,
+                               const AddressMap* attribution = nullptr,
+                               int threads = 1);
+
+/// Same, from a raw recorded trace (no decode on the walk).
+MultiReplayResult replay_multi(const TraceBuffer& trace,
+                               const std::vector<CacheParams>& params,
+                               const AddressMap* attribution = nullptr,
+                               int threads = 1);
+
+}  // namespace fsopt

@@ -48,15 +48,32 @@ class PartitionSink : public TraceSink {
 
 }  // namespace
 
-TracePartition partition_trace(const TraceBuffer& trace, i64 block_size,
-                               int shards) {
+namespace {
+
+PartitionSink make_partition(TracePartition& out, i64 block_size,
+                             int shards) {
   FSOPT_CHECK(block_size >= 4, "block size must be >= 4");
   FSOPT_CHECK(shards >= 1, "shard count must be >= 1");
-  TracePartition out;
   out.block_size = block_size;
   out.shards = shards;
   out.shard.resize(static_cast<size_t>(shards));
-  PartitionSink sink(out);
+  return PartitionSink(out);
+}
+
+}  // namespace
+
+TracePartition partition_trace(const TraceBuffer& trace, i64 block_size,
+                               int shards) {
+  TracePartition out;
+  PartitionSink sink = make_partition(out, block_size, shards);
+  trace.replay(sink);
+  return out;
+}
+
+TracePartition partition_trace(const EncodedTrace& trace, i64 block_size,
+                               int shards) {
+  TracePartition out;
+  PartitionSink sink = make_partition(out, block_size, shards);
   trace.replay(sink);
   return out;
 }

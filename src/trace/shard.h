@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "trace/encode.h"
 #include "trace/trace.h"
 
 namespace fsopt {
@@ -56,6 +57,12 @@ struct TracePartition {
 /// concurrent shards (>= 1).  Callers derive `shards` with
 /// effective_shard_count so no LRU set straddles two shards.
 TracePartition partition_trace(const TraceBuffer& trace, i64 block_size,
+                               int shards);
+
+/// Same, streaming straight from a compressed trace: chunks are decoded
+/// one at a time through a chunk-sized scratch buffer, so the raw
+/// 16-byte-per-ref stream never materializes in full.
+TracePartition partition_trace(const EncodedTrace& trace, i64 block_size,
                                int shards);
 
 }  // namespace fsopt

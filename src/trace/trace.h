@@ -32,6 +32,7 @@ struct MemRef {
   u8 size = 0;   // bytes: 4 or 8
   u8 proc = 0;
   RefType type = RefType::kRead;
+  bool operator==(const MemRef&) const = default;
 };
 
 class TraceSink {

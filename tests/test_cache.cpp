@@ -146,6 +146,72 @@ TEST(Cache, SplitWriteMergesUpgrade) {
   EXPECT_EQ(o.invalidated, 1);
 }
 
+TEST(Cache, CombineSplitSeverityFollowsWordUnion) {
+  // Severity must follow the classifier's word-union semantics — any
+  // remotely-written referenced word makes the whole reference a
+  // true-sharing miss — not the raw enum order (which lists false
+  // sharing last and used to win the merge).
+  AccessOutcome t{MissKind::kTrueSharing, false, 1, 0};
+  AccessOutcome f{MissKind::kFalseSharing, false, 2, 0};
+  AccessOutcome parts_tf[2] = {t, f};
+  AccessOutcome parts_ft[2] = {f, t};
+  EXPECT_EQ(combine_split_outcomes(parts_tf, 2).kind,
+            MissKind::kTrueSharing);
+  EXPECT_EQ(combine_split_outcomes(parts_ft, 2).kind,
+            MissKind::kTrueSharing);
+  // Everything else still loses to false sharing.
+  for (MissKind k : {MissKind::kHit, MissKind::kCold,
+                     MissKind::kReplacement}) {
+    AccessOutcome other{k, false, -1, 0};
+    AccessOutcome parts[2] = {other, f};
+    EXPECT_EQ(combine_split_outcomes(parts, 2).kind,
+              MissKind::kFalseSharing);
+  }
+  // And the rank is a strict refinement of hit < cold < replacement.
+  EXPECT_LT(split_kind_severity(MissKind::kHit),
+            split_kind_severity(MissKind::kCold));
+  EXPECT_LT(split_kind_severity(MissKind::kCold),
+            split_kind_severity(MissKind::kReplacement));
+  EXPECT_LT(split_kind_severity(MissKind::kReplacement),
+            split_kind_severity(MissKind::kFalseSharing));
+  EXPECT_LT(split_kind_severity(MissKind::kFalseSharing),
+            split_kind_severity(MissKind::kTrueSharing));
+}
+
+TEST(Cache, SplitRefMixedTrueAndFalsePartsIsTrueSharing) {
+  // Regression: a misaligned 8B read on 8B blocks whose two halves miss
+  // as (false sharing, true sharing).  Real communication happened — the
+  // word at addr 8 was remotely written and is being re-read — so the
+  // merged reference must count as TRUE sharing.  The old enum-max merge
+  // reported false sharing for exactly this mix.
+  CoherentCache c(params(2, /*block=*/8));
+  c.access(1, 4, 8, false);  // P1 loads blocks 0 and 1
+  c.access(0, 0, 4, true);   // P0 writes word 0: block 0 invalidated,
+                             // but P1's referenced word 4 is untouched
+  c.access(0, 8, 4, true);   // P0 writes word 8: block 1 invalidated,
+                             // and word 8 IS referenced below
+  AccessOutcome o = c.access(1, 4, 8, false);
+  EXPECT_EQ(o.kind, MissKind::kTrueSharing);
+  EXPECT_EQ(o.source_proc, 0);
+}
+
+TEST(Cache, SplitRefSpanningThreeBlocks) {
+  // A misaligned 8B reference on 4B blocks touches bytes [2, 10): three
+  // blocks, three split parts.  The access must not trip the part-count
+  // check and the merged outcome must cover all three blocks.
+  CoherentCache c(params(2, /*block=*/4));
+  AccessOutcome o = c.access(0, 2, 8, false);
+  EXPECT_EQ(o.kind, MissKind::kCold);
+  // All three blocks are now resident.
+  EXPECT_EQ(c.access(0, 0, 4, false).kind, MissKind::kHit);
+  EXPECT_EQ(c.access(0, 4, 4, false).kind, MissKind::kHit);
+  EXPECT_EQ(c.access(0, 8, 4, false).kind, MissKind::kHit);
+  // A remote write to the middle block only: the re-read of [2, 10)
+  // mixes (hit, true-sharing, hit) into a true-sharing miss.
+  c.access(1, 4, 4, true);
+  EXPECT_EQ(c.access(0, 2, 8, false).kind, MissKind::kTrueSharing);
+}
+
 TEST(Cache, OutOfRangeAccessThrows) {
   // total_bytes bounds the simulated address space; silently dropping
   // out-of-range words would skew every counter, so it must throw.
