@@ -79,6 +79,26 @@ int main(int argc, char** argv) {
               "path\n",
               jobs.size(), jobs.size());
 
+  // Plan-IR guard: every cell's transform plan must survive a JSON round
+  // trip exactly, and compiling with the round-tripped plan *injected*
+  // (the --plan-out/--plan-in contract) must reproduce the fingerprint.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const Compiled& c = matrix[i].compiled;
+    TransformPlan parsed =
+        plan_from_json(plan_to_json(c.transforms, *c.prog), *c.prog);
+    if (!(parsed == c.transforms))
+      fail("plan JSON round trip diverges for " + jobs[i].label);
+    if (!c.options.optimize) continue;
+    CompileOptions inj = jobs[i].options;
+    inj.plan = std::make_shared<TransformPlan>(std::move(parsed));
+    Compiled replay = compile_source(jobs[i].source, inj);
+    if (compile_fingerprint(replay) != compile_fingerprint(c))
+      fail("injected round-tripped plan diverges for " + jobs[i].label);
+  }
+  std::printf("plan-ir: JSON round trip and plan injection reproduce all "
+              "%zu variants\n",
+              jobs.size());
+
   // --- 2: thread-count determinism --------------------------------------
   for (int k : {1, 2, par_threads}) {
     std::vector<CompiledVariant> again = compile_matrix(jobs, k);

@@ -377,6 +377,59 @@ int main(int argc, char** argv) {
                 sweeps.render().c_str());
   }
 
+  // --- 4c: address-map lookup (the per-attributed-event hot path) ------
+  // AddressMap::index_of runs once per cache event during attributed
+  // replay.  add() flattens the (possibly overlapping) ranges into
+  // disjoint segments so a lookup is one binary search; this section
+  // times that against the pre-flattening reference — a linear scan over
+  // every range picking the smallest container — on the trace's own
+  // address stream, and cross-checks every answer first.
+  {
+    const std::vector<AddrRange>& rs = amap.ranges();
+    auto linear_index_of = [&rs](i64 addr) {
+      int best = -1;
+      for (size_t i = 0; i < rs.size(); ++i) {
+        if (addr < rs[i].lo || addr >= rs[i].hi) continue;
+        if (best < 0 || rs[i].size() < rs[static_cast<size_t>(best)].size())
+          best = static_cast<int>(i);
+      }
+      return best;
+    };
+
+    struct LookupSink final : TraceSink {
+      std::function<int(i64)> f;
+      i64 sum = 0;
+      void on_ref(const MemRef& ref) override { sum += f(ref.addr); }
+      void on_batch(const MemRef* refs, size_t n) override {
+        for (size_t i = 0; i < n; ++i) sum += f(refs[i].addr);
+      }
+    };
+
+    LookupSink check;
+    i64 mismatches = 0;
+    check.f = [&](i64 addr) {
+      if (amap.index_of(addr) != linear_index_of(addr)) ++mismatches;
+      return 0;
+    };
+    trace.replay(check);
+    if (mismatches != 0)
+      mismatch("binary-search and linear-scan address lookups", 0);
+
+    LookupSink lin, bin;
+    lin.f = linear_index_of;
+    bin.f = [&](i64 addr) { return amap.index_of(addr); };
+    double t_lin = best_of(repeats, [&] { trace.replay(lin); });
+    double t_bin = best_of(repeats, [&] { trace.replay(bin); });
+    std::printf("--- address-map lookup (%zu ranges) ---\n"
+                "linear scan %s  binary search %s  speedup %.2fx\n\n",
+                rs.size(), human(refs / t_lin).c_str(),
+                human(refs / t_bin).c_str(), t_lin / t_bin);
+    json.add(workload, "addrmap_ranges", static_cast<double>(rs.size()));
+    json.add(workload, "addrmap_linear_lookups_per_sec", refs / t_lin);
+    json.add(workload, "addrmap_binary_lookups_per_sec", refs / t_bin);
+    json.add(workload, "addrmap_lookup_speedup", t_lin / t_bin);
+  }
+
   // --- 5: observability audit ------------------------------------------
   // (a) stats must be bit-identical with tracing on vs. off; (b) the
   // disabled instrumentation reached during one sharded replay must cost

@@ -22,13 +22,13 @@ Compiled compile_source_reference(std::string_view source,
   out.prog = parse_and_check(source, diags, options.overrides);
   out.summary = analyze_program(*out.prog);
   out.report = classify_sharing(out.summary);
-  if (options.optimize) {
-    DecisionOptions dopt = options.decision;
-    dopt.block_size = options.block_size;
-    out.transforms = decide_transforms(out.report, out.summary, dopt);
+  if (options.plan != nullptr) {
+    out.transforms = *options.plan;
+  } else if (options.optimize) {
+    out.transforms = decide_transforms(out.report, out.summary,
+                                       options.block_size, options.decision);
   }
-  out.layout = build_layout(*out.prog, out.transforms,
-                            PlanOptions{options.block_size});
+  out.layout = build_layout(*out.prog, out.transforms, options.block_size);
   out.code = compile_code(*out.prog, out.layout);
   return out;
 }

@@ -10,6 +10,7 @@
 
 #include "analysis/report.h"
 #include "interp/compile.h"
+#include "transform/decision.h"
 #include "transform/plan.h"
 
 namespace fsopt {
@@ -22,8 +23,16 @@ struct CompileOptions {
   /// §3.3 heuristic knobs and selective enables.
   DecisionOptions decision;
   /// Coherence-unit size targeted by the transformations.  The KSR2's unit
-  /// is 128 bytes.
+  /// is 128 bytes.  This is the *single* block-size knob: the driver
+  /// threads it into decide_transforms and build_layout.
   i64 block_size = 128;
+  /// Injected transform plan (`fsoptc --plan-in`, the repair loop's
+  /// recompiles).  When set, the plan pass copies it verbatim instead of
+  /// running a planner, regardless of `optimize`; its DatumKeys must have
+  /// been resolved against the same source + overrides (plan_from_json
+  /// does this by name).  Shared, not unique: CompileOptions is copied
+  /// freely by the matrix harness.
+  std::shared_ptr<const TransformPlan> plan;
 };
 
 class Compiled {

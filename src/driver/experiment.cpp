@@ -445,6 +445,91 @@ TraceStudyResult run_trace_study(const Compiled& c,
                             threads, shards);
 }
 
+FalseSharingProfile build_fs_profile(const TraceStudyResult& study,
+                                     i64 block_size) {
+  auto it = study.by_datum.find(block_size);
+  FSOPT_CHECK(it != study.by_datum.end(),
+              "trace study carries no per-datum attribution for block size " +
+                  std::to_string(block_size));
+  FalseSharingProfile profile;
+  profile.block_size = block_size;
+  for (const auto& [name, stats] : it->second) {
+    if (stats.refs == 0) continue;
+    profile.total_fs += stats.false_sharing;
+    profile.entries.push_back({name, stats.false_sharing, stats.misses(),
+                               0.0});
+  }
+  if (profile.total_fs > 0)
+    for (auto& e : profile.entries)
+      e.fs_share = static_cast<double>(e.fs_misses) /
+                   static_cast<double>(profile.total_fs);
+  std::sort(profile.entries.begin(), profile.entries.end(),
+            [](const FalseSharingProfile::Entry& a,
+               const FalseSharingProfile::Entry& b) {
+              if (a.fs_misses != b.fs_misses)
+                return a.fs_misses > b.fs_misses;
+              return a.name < b.name;
+            });
+  return profile;
+}
+
+RepairResult repair_loop(std::string_view source, const CompileOptions& base,
+                         const RepairLoopOptions& opt) {
+  FSOPT_CHECK(base.plan == nullptr,
+              "repair_loop owns plan injection; base.plan must be unset");
+  CompileOptions copt = base;
+  copt.optimize = true;
+  copt.block_size = opt.block_size;
+
+  // One shared parse+sema front serves the baseline and every recompile:
+  // the source and overrides never change, only the injected plan does —
+  // which also keeps symbol ids stable, so plans stay valid across
+  // iterations.
+  FrontHalf front = run_front(source, copt.overrides);
+  std::vector<i64> blocks = {opt.block_size};
+
+  RepairResult out;
+  Compiled current = run_back(front, copt);
+  out.static_plan = current.transforms;
+
+  AddressMap am = build_address_map(current);
+  TraceStudyResult study = run_trace_study(current, blocks, opt.l1_bytes,
+                                           &am, opt.threads);
+  out.baseline = study.at(opt.block_size);
+  out.baseline_by_datum = study.by_datum[opt.block_size];
+
+  ProfilePlanner planner(opt.planner);
+  TransformPlan prev = out.static_plan;
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    FalseSharingProfile profile = build_fs_profile(study, opt.block_size);
+    TransformPlan next =
+        planner.plan({current.report, current.summary, copt.decision,
+                      opt.block_size, &profile, &prev});
+    PlanDiff diff = plan_diff(prev, next);
+    if (diff.empty()) {
+      out.converged = true;
+      break;
+    }
+    CompileOptions iter_opt = copt;
+    iter_opt.plan = std::make_shared<TransformPlan>(next);
+    current = run_back(front, iter_opt);
+
+    // Verify: re-trace under the new layout and re-attribute.
+    AddressMap iter_am = build_address_map(current);
+    study = run_trace_study(current, blocks, opt.l1_bytes, &iter_am,
+                            opt.threads);
+    RepairIteration it;
+    it.plan = next;
+    it.diff = std::move(diff);
+    it.stats = study.at(opt.block_size);
+    it.by_datum = study.by_datum[opt.block_size];
+    out.iterations.push_back(std::move(it));
+    prev = std::move(next);
+  }
+  out.final_compiled = std::move(current);
+  return out;
+}
+
 namespace {
 
 /// Value key identifying a shareable parse+sema front: the source text

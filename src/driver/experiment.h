@@ -22,6 +22,7 @@
 #include "support/thread_pool.h"
 #include "trace/encode.h"
 #include "trace/shard.h"
+#include "transform/planner.h"
 
 namespace fsopt {
 
@@ -138,6 +139,81 @@ ShardedReplayResult replay_partitioned(const TracePartition& part,
                                        const AddressMap* attribution =
                                            nullptr,
                                        int threads = 0);
+
+// ---------------------------------------------------------------------------
+// The detect -> transform -> verify repair loop.
+//
+// Static profiling under-weights busy data hidden in loops with unknown
+// bounds (DecisionOptions::min_weight_fraction), which is why Maxflow and
+// Raytrace keep residual false sharing (§5).  The simulator, however,
+// *measures* per-datum false sharing (TraceStudyResult::by_datum); the
+// repair loop feeds that measurement back:
+//
+//   compile C(static) -> trace -> replay with attribution ->
+//   build_fs_profile -> ProfilePlanner extends the plan -> recompile ->
+//   re-trace -> verify the attributed misses actually disappeared,
+//
+// iterating until the plan reaches a fixed point (ProfilePlanner only
+// ever adds decisions, so the loop converges) or max_iterations.
+// ---------------------------------------------------------------------------
+
+/// Distill one block size's per-datum attribution into the name-keyed
+/// profile ProfilePlanner consumes.  Throws InternalError if the study
+/// carries no attribution for `block_size`.
+FalseSharingProfile build_fs_profile(const TraceStudyResult& study,
+                                     i64 block_size);
+
+struct RepairLoopOptions {
+  /// Coherence-unit size the repair targets (plan + simulation).
+  i64 block_size = 128;
+  /// Upper bound on profile->replan->reverify rounds.
+  int max_iterations = 3;
+  ProfilePlannerOptions planner;
+  i64 l1_bytes = 32 * 1024;
+  /// Worker threads for the replays (0 = experiment_threads()).
+  int threads = 0;
+};
+
+/// One profile->replan->reverify round.
+struct RepairIteration {
+  TransformPlan plan;
+  /// What this round's plan added relative to the previous plan.
+  PlanDiff diff;
+  /// Re-simulated stats under the new plan, at the repair block size.
+  MissStats stats;
+  std::map<std::string, MissStats> by_datum;
+};
+
+struct RepairResult {
+  /// The C(static) starting point at the repair block size.
+  TransformPlan static_plan;
+  MissStats baseline;
+  std::map<std::string, MissStats> baseline_by_datum;
+  std::vector<RepairIteration> iterations;
+  /// True when the last planning round added nothing (fixed point
+  /// reached before max_iterations ran out).
+  bool converged = false;
+  /// The compile of the final plan (the baseline compile when the loop
+  /// added nothing) — carries the layout and code for further study.
+  Compiled final_compiled;
+
+  const TransformPlan& final_plan() const {
+    return iterations.empty() ? static_plan : iterations.back().plan;
+  }
+  const MissStats& final_stats() const {
+    return iterations.empty() ? baseline : iterations.back().stats;
+  }
+  /// Did the repair actually reduce simulated false-sharing misses?
+  bool improved() const {
+    return final_stats().false_sharing < baseline.false_sharing;
+  }
+};
+
+/// Run the repair loop on `source`.  `base` supplies overrides and §3.3
+/// knobs; optimize is forced on for the static baseline and `base.plan`
+/// must be unset (the loop owns plan injection).
+RepairResult repair_loop(std::string_view source, const CompileOptions& base,
+                         const RepairLoopOptions& opt = {});
 
 // ---------------------------------------------------------------------------
 // Parallel workload-matrix compilation.

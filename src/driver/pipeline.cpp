@@ -3,6 +3,7 @@
 #include "lang/parser.h"
 #include "lang/sema.h"
 #include "obs/obs.h"
+#include "transform/planner.h"
 #include "support/timing.h"
 
 namespace fsopt {
@@ -112,18 +113,23 @@ PassManager build_back() {
     ctx.report = classify_sharing(ctx.summary);
     m.set_counter("data", static_cast<i64>(ctx.report.data.size()));
   });
-  pm.add("decide", [](PassContext& ctx, PassMetrics& m) {
-    if (ctx.options.optimize) {
-      DecisionOptions dopt = ctx.options.decision;
-      dopt.block_size = ctx.options.block_size;
-      ctx.transforms = decide_transforms(ctx.report, ctx.summary, dopt);
+  pm.add("plan", [](PassContext& ctx, PassMetrics& m) {
+    if (ctx.options.plan != nullptr) {
+      // Injected plan (--plan-in, repair-loop recompiles): used verbatim.
+      ctx.transforms = *ctx.options.plan;
+      m.set_counter("injected", 1);
+    } else if (ctx.options.optimize) {
+      StaticPlanner planner;
+      ctx.transforms = planner.plan({ctx.report, ctx.summary,
+                                     ctx.options.decision,
+                                     ctx.options.block_size});
     }
     m.set_counter("decisions",
                   static_cast<i64>(ctx.transforms.decisions.size()));
   });
   pm.add("layout", [](PassContext& ctx, PassMetrics& m) {
-    ctx.layout = build_layout(*ctx.prog, ctx.transforms,
-                              PlanOptions{ctx.options.block_size});
+    ctx.layout =
+        build_layout(*ctx.prog, ctx.transforms, ctx.options.block_size);
     m.set_counter("total_bytes", ctx.layout.total_bytes());
   });
   pm.add("codegen", [](PassContext& ctx, PassMetrics& m) {

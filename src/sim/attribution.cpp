@@ -5,20 +5,41 @@ namespace fsopt {
 void AddressMap::add(i64 lo, i64 hi, std::string name) {
   FSOPT_CHECK(hi >= lo, "bad address range");
   ranges_.push_back({lo, hi, std::move(name)});
+  rebuild_index();
 }
 
-int AddressMap::index_of(i64 addr) const {
-  int best = -1;
-  i64 best_size = 0;
-  for (size_t i = 0; i < ranges_.size(); ++i) {
-    const AddrRange& r = ranges_[i];
-    if (addr < r.lo || addr >= r.hi) continue;
-    if (best < 0 || r.size() < best_size) {
-      best = static_cast<int>(i);
-      best_size = r.size();
-    }
+void AddressMap::rebuild_index() {
+  bounds_.clear();
+  owner_.clear();
+  for (const AddrRange& r : ranges_) {
+    if (r.lo == r.hi) continue;  // empty ranges own no addresses
+    bounds_.push_back(r.lo);
+    bounds_.push_back(r.hi);
   }
-  return best;
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (bounds_.empty()) return;
+
+  // Overlapping ranges subdivide each other, so within one segment the
+  // covering set — and therefore the smallest-covering winner — is
+  // constant; probing the segment start resolves the whole segment.
+  // Quadratic in the range count, which is tens of globals; the payoff is
+  // the O(log n) probe on the per-event path.
+  owner_.resize(bounds_.size() - 1);
+  for (size_t k = 0; k + 1 < bounds_.size(); ++k) {
+    i64 addr = bounds_[k];
+    int best = -1;
+    i64 best_size = 0;
+    for (size_t i = 0; i < ranges_.size(); ++i) {
+      const AddrRange& r = ranges_[i];
+      if (addr < r.lo || addr >= r.hi) continue;
+      if (best < 0 || r.size() < best_size) {
+        best = static_cast<int>(i);
+        best_size = r.size();
+      }
+    }
+    owner_[k] = best;
+  }
 }
 
 }  // namespace fsopt

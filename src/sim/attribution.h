@@ -6,6 +6,7 @@
 // can report per-structure miss breakdowns.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -20,20 +21,41 @@ struct AddrRange {
   i64 size() const { return hi - lo; }
 };
 
+/// Ranges may overlap (e.g. group&transpose members within the group
+/// region); a lookup resolves to the *smallest* containing range, ties to
+/// the earliest-added.  add() flattens the ranges into disjoint sorted
+/// segments with precomputed owners, so index_of is one binary search —
+/// it runs once per attributed cache event, which replay makes a hot
+/// path (see the address-map section of bench_replay_throughput).  The
+/// index is rebuilt eagerly on every add() precisely so that a finished
+/// map is immutable and safely shared by concurrent replay shards.
 class AddressMap {
  public:
   void add(i64 lo, i64 hi, std::string name);
 
-  /// Index of the smallest range containing addr, or -1.  (Ranges may
-  /// overlap, e.g. group&transpose members within the group region.)
-  int index_of(i64 addr) const;
+  /// Index of the smallest range containing addr, or -1.
+  int index_of(i64 addr) const {
+    if (bounds_.empty() || addr < bounds_.front() || addr >= bounds_.back())
+      return -1;
+    size_t seg = static_cast<size_t>(
+        std::upper_bound(bounds_.begin(), bounds_.end(), addr) -
+        bounds_.begin());
+    return owner_[seg - 1];
+  }
   const std::string& name_of(int index) const {
     return ranges_[static_cast<size_t>(index)].name;
   }
   const std::vector<AddrRange>& ranges() const { return ranges_; }
 
  private:
+  void rebuild_index();
+
   std::vector<AddrRange> ranges_;
+  // Flattened segment table: segment k spans [bounds_[k], bounds_[k+1])
+  // and is owned by range owner_[k] (-1 for gaps).  owner_ has
+  // bounds_.size() - 1 entries.
+  std::vector<i64> bounds_;
+  std::vector<int> owner_;
 };
 
 }  // namespace fsopt

@@ -1,21 +1,27 @@
-// Minimal JSON writing shared by every emitter in the tree.
+// Minimal JSON reading and writing shared by every emitter in the tree.
 //
 // Three hand-rolled JSON serializers had grown independently — the bench
 // harness's JsonReport, PipelineMetrics::to_json, and (new) the runtime
 // trace writer.  Each re-derived escaping and comma placement; this header
 // is the one copy.  Writer is a streaming builder over a std::string:
-// begin/end object/array, key, value — no DOM, no allocation beyond the
-// output string.  `validate` is a strict syntax checker used by the tests
-// to assert emitted documents are well-formed without pulling in a parser
-// dependency.
+// begin/end object/array, key, value — no allocation beyond the output
+// string.  `validate` is a strict syntax checker used by the tests to
+// assert emitted documents are well-formed.  `parse` is a small DOM
+// parser for the inputs the tree must *read back* — transform-plan files
+// (`fsoptc --plan-in`, transform/plan_ir.h); object members preserve
+// document order so a parse → re-serialize round trip is byte-stable.
 #pragma once
 
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "support/common.h"
@@ -352,6 +358,245 @@ inline bool validate(std::string_view doc) {
   if (!detail::check_value(c)) return false;
   c.skip_ws();
   return c.eof();
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (DOM).  Small by design: fsopt only reads back documents it (or a
+// user editing one of its plan files) wrote.  Numbers are held as doubles —
+// every integer fsopt serializes (block sizes, dims, miss counts) fits —
+// and object members keep document order, so serializers that iterate the
+// DOM reproduce their input byte for byte.
+// ---------------------------------------------------------------------------
+
+class Value {
+ public:
+  enum class Kind : unsigned char {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return flag_; }
+  double as_number() const { return num_; }
+  i64 as_i64() const { return static_cast<i64>(num_); }
+  const std::string& as_string() const { return str_; }
+  const std::vector<Value>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key, or nullptr (first match; fsopt never emits
+  /// duplicate keys).
+  const Value* get(std::string_view key) const {
+    for (const auto& [k, v] : members_)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  static Value make_null() { return Value(Kind::kNull); }
+  static Value make_bool(bool b) {
+    Value v(Kind::kBool);
+    v.flag_ = b;
+    return v;
+  }
+  static Value make_number(double d) {
+    Value v(Kind::kNumber);
+    v.num_ = d;
+    return v;
+  }
+  static Value make_string(std::string s) {
+    Value v(Kind::kString);
+    v.str_ = std::move(s);
+    return v;
+  }
+  static Value make_array() { return Value(Kind::kArray); }
+  static Value make_object() { return Value(Kind::kObject); }
+
+  std::vector<Value>& items() { return items_; }
+  std::vector<std::pair<std::string, Value>>& members() { return members_; }
+
+ private:
+  explicit Value(Kind k) : kind_(k) {}
+
+  Kind kind_ = Kind::kNull;
+  bool flag_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+namespace detail {
+
+inline bool parse_string_body(Cursor& c, std::string& out) {
+  size_t start = c.i;
+  if (!check_string(c)) return false;
+  std::string_view raw = c.s.substr(start + 1, c.i - start - 2);
+  out.clear();
+  out.reserve(raw.size());
+  for (size_t k = 0; k < raw.size(); ++k) {
+    char ch = raw[k];
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    char e = raw[++k];  // check_string guarantees a valid escape follows
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        unsigned code = 0;
+        for (int d = 0; d < 4; ++d) {
+          char h = raw[++k];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f')
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          else
+            code |= static_cast<unsigned>(h - 'A' + 10);
+        }
+        // Escaped code points are encoded back to UTF-8 (fsopt only emits
+        // \u00xx control escapes, but accept the full BMP).
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+inline bool parse_value(Cursor& c, Value& out);
+
+inline bool parse_object(Cursor& c, Value& out) {
+  out = Value::make_object();
+  ++c.i;  // '{'
+  c.skip_ws();
+  if (!c.eof() && c.peek() == '}') {
+    ++c.i;
+    return true;
+  }
+  for (;;) {
+    c.skip_ws();
+    std::string key;
+    if (!parse_string_body(c, key)) return false;
+    c.skip_ws();
+    if (c.eof() || c.peek() != ':') return false;
+    ++c.i;
+    Value v = Value::make_null();
+    if (!parse_value(c, v)) return false;
+    out.members().emplace_back(std::move(key), std::move(v));
+    c.skip_ws();
+    if (c.eof()) return false;
+    if (c.peek() == ',') {
+      ++c.i;
+      continue;
+    }
+    if (c.peek() == '}') {
+      ++c.i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool parse_array(Cursor& c, Value& out) {
+  out = Value::make_array();
+  ++c.i;  // '['
+  c.skip_ws();
+  if (!c.eof() && c.peek() == ']') {
+    ++c.i;
+    return true;
+  }
+  for (;;) {
+    Value v = Value::make_null();
+    if (!parse_value(c, v)) return false;
+    out.items().push_back(std::move(v));
+    c.skip_ws();
+    if (c.eof()) return false;
+    if (c.peek() == ',') {
+      ++c.i;
+      continue;
+    }
+    if (c.peek() == ']') {
+      ++c.i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool parse_value(Cursor& c, Value& out) {
+  c.skip_ws();
+  if (c.eof()) return false;
+  if (++c.depth > 512) return false;  // nesting bomb guard
+  bool ok;
+  switch (c.peek()) {
+    case '{': ok = parse_object(c, out); break;
+    case '[': ok = parse_array(c, out); break;
+    case '"': {
+      std::string s;
+      ok = parse_string_body(c, s);
+      if (ok) out = Value::make_string(std::move(s));
+      break;
+    }
+    case 't':
+      ok = c.lit("true");
+      if (ok) out = Value::make_bool(true);
+      break;
+    case 'f':
+      ok = c.lit("false");
+      if (ok) out = Value::make_bool(false);
+      break;
+    case 'n':
+      ok = c.lit("null");
+      if (ok) out = Value::make_null();
+      break;
+    default: {
+      size_t start = c.i;
+      ok = check_number(c);
+      if (ok) {
+        std::string num(c.s.substr(start, c.i - start));
+        out = Value::make_number(std::strtod(num.c_str(), nullptr));
+      }
+      break;
+    }
+  }
+  --c.depth;
+  return ok;
+}
+
+}  // namespace detail
+
+/// Parse exactly one JSON value (same strictness as validate); nullopt on
+/// any syntax error.
+inline std::optional<Value> parse(std::string_view doc) {
+  detail::Cursor c{doc};
+  Value v = Value::make_null();
+  if (!detail::parse_value(c, v)) return std::nullopt;
+  c.skip_ws();
+  if (!c.eof()) return std::nullopt;
+  return v;
 }
 
 }  // namespace fsopt::json

@@ -1,50 +1,6 @@
 #include "transform/decision.h"
 
-#include <map>
-#include <sstream>
-
 namespace fsopt {
-
-const char* transform_name(TransformKind k) {
-  switch (k) {
-    case TransformKind::kNone: return "none";
-    case TransformKind::kGroupTranspose: return "group&transpose";
-    case TransformKind::kIndirection: return "indirection";
-    case TransformKind::kPadAlign: return "pad&align";
-    case TransformKind::kLockPad: return "lock-pad";
-  }
-  return "?";
-}
-
-const TransformDecision* TransformSet::find(const DatumKey& k) const {
-  for (const auto& d : decisions)
-    if (d.datum == k) return &d;
-  return nullptr;
-}
-
-const TransformDecision* TransformSet::applying_to(int sym, int field) const {
-  if (field >= 0) {
-    if (const TransformDecision* d = find({sym, field})) return d;
-  }
-  return find({sym, -1});
-}
-
-std::string TransformSet::render(const ProgramSummary& sum) const {
-  std::ostringstream os;
-  for (const auto& d : decisions) {
-    os << sum.datum_name(d.datum) << ": " << transform_name(d.kind);
-    if (d.kind == TransformKind::kGroupTranspose ||
-        d.kind == TransformKind::kIndirection) {
-      os << " (pid-dim " << d.pid_dim << ", "
-         << (d.shape == PartitionShape::kBlocked ? "blocked" : "interleaved");
-      if (d.shape == PartitionShape::kBlocked) os << " C=" << d.chunk;
-      os << ")";
-    }
-    if (!d.reason.empty()) os << "  -- " << d.reason;
-    os << "\n";
-  }
-  return os.str();
-}
 
 namespace {
 
@@ -60,10 +16,9 @@ std::vector<i64> sample_pids(i64 nprocs) {
   return out;
 }
 
-/// Detect how per-process sections of dimension `dim` map onto pids.
-/// Returns nullopt if neither a blocked nor an interleaved pattern fits
-/// (the partitioning exists but has no linear layout axis).
-std::optional<std::pair<PartitionShape, i64>> detect_shape(
+}  // namespace
+
+std::optional<std::pair<PartitionShape, i64>> detect_partition_shape(
     const std::vector<const AccessRecord*>& writes, const ProgramSummary& sum,
     const DatumKey& key, int dim) {
   std::vector<i64> extents = sum.datum_extents(key);
@@ -91,13 +46,8 @@ std::optional<std::pair<PartitionShape, i64>> detect_shape(
   return std::nullopt;
 }
 
-}  // namespace
-
-TransformSet decide_transforms(const SharingReport& report,
-                               const ProgramSummary& sum,
-                               const DecisionOptions& opt) {
-  // Gather write records per datum for partition-shape detection.  Only
-  // the dominant phase's records shape the layout (§3.1).
+std::map<DatumKey, std::vector<const AccessRecord*>> dominant_phase_writes(
+    const SharingReport& report, const ProgramSummary& sum) {
   std::map<DatumKey, std::vector<const AccessRecord*>> writes_by_datum;
   for (const AccessRecord& r : sum.records) {
     if (!r.is_write || r.is_lock_op) continue;
@@ -105,8 +55,19 @@ TransformSet decide_transforms(const SharingReport& report,
     if (dc != nullptr && r.phase != dc->dominant_phase) continue;
     writes_by_datum[r.datum].push_back(&r);
   }
+  return writes_by_datum;
+}
+
+TransformSet decide_transforms(const SharingReport& report,
+                               const ProgramSummary& sum, i64 block_size,
+                               const DecisionOptions& opt) {
+  // Gather write records per datum for partition-shape detection.
+  std::map<DatumKey, std::vector<const AccessRecord*>> writes_by_datum =
+      dominant_phase_writes(report, sum);
 
   TransformSet out;
+  out.planner = "static";
+  out.block_size = block_size;
 
   // Static-profile significance threshold: only the datums most
   // responsible for shared traffic are considered (locks exempt).
@@ -134,7 +95,7 @@ TransformSet decide_transforms(const SharingReport& report,
     TransformKind kind;
     PartitionShape shape;
     i64 chunk;
-    std::string reason;
+    DecisionReason reason;
   };
   std::vector<Candidate> cands;
 
@@ -143,23 +104,22 @@ TransformSet decide_transforms(const SharingReport& report,
       if (opt.enable_lock_pad)
         out.decisions.push_back({d.datum, TransformKind::kLockPad, -1,
                                  PartitionShape::kBlocked, 1,
-                                 "locks are always padded"});
+                                 {ReasonCode::kLockAlwaysPadded}});
       continue;
     }
     if (d.read_weight + d.write_weight < min_weight) continue;
     if (d.writes == Pattern::kPerProcess && d.writer_count >= 2 &&
         d.pid_dim >= 0 && reads_admit(d)) {
-      auto shape = detect_shape(writes_by_datum[d.datum], sum, d.datum,
-                                d.pid_dim);
+      auto shape = detect_partition_shape(writes_by_datum[d.datum], sum,
+                                          d.datum, d.pid_dim);
       if (shape.has_value()) {
         TransformKind kind = d.pid_dim_is_field_dim
                                  ? TransformKind::kIndirection
                                  : TransformKind::kGroupTranspose;
-        std::string reason =
-            std::string("per-process writes, reads ") +
-            pattern_name(d.reads);
-        cands.push_back(
-            {&d, kind, shape->first, shape->second, std::move(reason)});
+        DecisionReason reason;
+        reason.code = ReasonCode::kPerProcessWrites;
+        reason.read_pattern = d.reads;
+        cands.push_back({&d, kind, shape->first, shape->second, reason});
       }
       continue;
     }
@@ -169,13 +129,12 @@ TransformSet decide_transforms(const SharingReport& report,
         opt.enable_pad_align) {
       i64 elem_count = 1;
       for (i64 e : d.extents) elem_count *= e;
-      if (elem_count * opt.block_size > opt.pad_footprint_limit)
+      if (elem_count * block_size > opt.pad_footprint_limit)
         continue;  // judicious padding: blowing up the data set would cost
                    // more in capacity/conflict misses than it saves
       out.decisions.push_back(
           {d.datum, TransformKind::kPadAlign, -1, PartitionShape::kBlocked,
-           1, "shared reads and writes without processor or spatial "
-              "locality"});
+           1, {ReasonCode::kSharedNonLocal}});
       continue;
     }
   }
@@ -227,10 +186,11 @@ TransformSet decide_transforms(const SharingReport& report,
       }
     }
     if (consensus && accessed_fields > 0) {
+      DecisionReason reason;
+      reason.code = ReasonCode::kStructConsensus;
+      reason.dim = c.dc->pid_dim;
       out.decisions.push_back({{sym, -1}, TransformKind::kGroupTranspose,
-                               c.dc->pid_dim, c.shape, c.chunk,
-                               "all fields per-process along dim " +
-                                   std::to_string(c.dc->pid_dim)});
+                               c.dc->pid_dim, c.shape, c.chunk, reason});
     }
   }
   return out;

@@ -1,35 +1,15 @@
 // §3.3 transformation heuristics: given the sharing classification of each
 // datum, decide which of the four transformations (if any) to apply.
+// The decisions are returned as a TransformPlan (transform/plan_ir.h);
+// StaticPlanner (transform/planner.h) is the Planner-interface wrapper
+// around this function.
 #pragma once
 
-#include "analysis/report.h"
+#include <map>
+
+#include "transform/plan_ir.h"
 
 namespace fsopt {
-
-enum class TransformKind : u8 {
-  kNone,
-  kGroupTranspose,
-  kIndirection,
-  kPadAlign,
-  kLockPad,
-};
-
-const char* transform_name(TransformKind k);
-
-/// How the per-process partitioning maps onto the pid dimension.
-enum class PartitionShape : u8 {
-  kBlocked,      // process p owns indices [p*C, (p+1)*C)
-  kInterleaved,  // process p owns indices ≡ p (mod NPROCS)
-};
-
-struct TransformDecision {
-  DatumKey datum;  // field = -1 for symbol-level decisions
-  TransformKind kind = TransformKind::kNone;
-  int pid_dim = -1;
-  PartitionShape shape = PartitionShape::kBlocked;
-  i64 chunk = 1;  // C for blocked partitionings
-  std::string reason;
-};
 
 struct DecisionOptions {
   /// Write weight must exceed read weight by this factor before
@@ -40,11 +20,9 @@ struct DecisionOptions {
   /// data structures most responsible", §3.1).  Busy data hidden deep in
   /// loops with unknown bounds can be under-weighted and escape
   /// transformation — the source of Maxflow's and Raytrace's residual
-  /// false sharing (§5).  Locks are exempt.
+  /// false sharing (§5), and what the profile-guided planner
+  /// (transform/planner.h) repairs.  Locks are exempt.
   double min_weight_fraction = 0.015;
-  /// Coherence-unit size (bytes) the transformations target; set by the
-  /// driver from CompileOptions::block_size.
-  i64 block_size = 128;
   /// "Judicious use of padding" (§3.2): pad & align is skipped when the
   /// padded datum would exceed this many bytes, since the capacity and
   /// conflict misses of a blown-up data set would outweigh the
@@ -57,20 +35,29 @@ struct DecisionOptions {
   bool enable_lock_pad = true;
 };
 
-struct TransformSet {
-  std::vector<TransformDecision> decisions;
-
-  const TransformDecision* find(const DatumKey& k) const;
-  /// Decision applying to an access to (sym, field): field-specific first,
-  /// then symbol-level.
-  const TransformDecision* applying_to(int sym, int field) const;
-  std::string render(const ProgramSummary& sum) const;
-};
-
 /// Apply the heuristics.  `summary` supplies per-datum record details for
-/// partition-shape detection.
+/// partition-shape detection; `block_size` is the coherence-unit size the
+/// transformations target (the driver threads CompileOptions::block_size
+/// through — there is exactly one block-size knob).  The returned plan has
+/// planner = "static" and carries `block_size`.
 TransformSet decide_transforms(const SharingReport& report,
                                const ProgramSummary& summary,
+                               i64 block_size,
                                const DecisionOptions& options = {});
+
+/// Dominant-phase write records per datum — the evidence
+/// detect_partition_shape consumes.  Only the dominant phase's records
+/// shape the layout (§3.1).
+std::map<DatumKey, std::vector<const AccessRecord*>> dominant_phase_writes(
+    const SharingReport& report, const ProgramSummary& summary);
+
+/// Detect how per-process sections of dimension `dim` map onto pids.
+/// Returns nullopt if neither a blocked nor an interleaved pattern fits
+/// (the partitioning exists but has no linear layout axis).  Shared with
+/// ProfilePlanner, which must answer the same question for data the
+/// static weights missed.
+std::optional<std::pair<PartitionShape, i64>> detect_partition_shape(
+    const std::vector<const AccessRecord*>& writes,
+    const ProgramSummary& summary, const DatumKey& key, int dim);
 
 }  // namespace fsopt

@@ -24,8 +24,9 @@ struct PendingIndirection {
 }  // namespace
 
 LayoutPlan build_layout(const Program& prog, const TransformSet& transforms,
-                        const PlanOptions& opt) {
-  const i64 B = opt.block_size;
+                        i64 block_size) {
+  const i64 B = block_size;
+  FSOPT_CHECK(B > 0, "build_layout requires a positive block size");
   LayoutPlan plan;
   i64 cursor = 0;
 

@@ -4,19 +4,17 @@
 #pragma once
 
 #include "layout/layout.h"
-#include "transform/decision.h"
+#include "transform/plan_ir.h"
 
 namespace fsopt {
 
-struct PlanOptions {
-  /// Coherence-unit size the transformations pad/align to.  The KSR2's is
-  /// 128 bytes; the simulation study sweeps 4-256.
-  i64 block_size = 128;
-};
-
 /// Produce the transformed layout for `prog` under `transforms`.
+/// `block_size` is the coherence-unit size the transformations pad/align
+/// to (the KSR2's is 128 bytes; the simulation study sweeps 4-256) — the
+/// driver threads CompileOptions::block_size through, deliberately with
+/// no default so a forgotten call site cannot desynchronize the knob.
 /// With an empty TransformSet this degenerates to identity_layout().
 LayoutPlan build_layout(const Program& prog, const TransformSet& transforms,
-                        const PlanOptions& opt = {});
+                        i64 block_size);
 
 }  // namespace fsopt

@@ -1,0 +1,110 @@
+#include "transform/planner.h"
+
+#include <memory>
+
+namespace fsopt {
+
+const FalseSharingProfile::Entry* FalseSharingProfile::find(
+    const std::string& name) const {
+  for (const Entry& e : entries)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+TransformPlan StaticPlanner::plan(const PlannerInputs& in) const {
+  return decide_transforms(in.report, in.summary, in.block_size, in.options);
+}
+
+namespace {
+
+/// True when `plan` already has a decision that would collide with a new
+/// decision for `key` in the layout engine: the exact datum, the whole
+/// symbol when adding field-level, or any field when adding symbol-level
+/// (a symbol-level pad/group decision overrides the rebuilt-struct path,
+/// silently dropping field decisions — never stack them).
+bool plan_covers(const TransformPlan& plan, const DatumKey& key) {
+  for (const TransformDecision& d : plan.decisions) {
+    if (d.datum.sym != key.sym) continue;
+    if (d.datum.field < 0 || key.field < 0 || d.datum.field == key.field)
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TransformPlan ProfilePlanner::plan(const PlannerInputs& in) const {
+  TransformPlan out =
+      in.base != nullptr ? *in.base : StaticPlanner().plan(in);
+  out.planner = name();
+  out.block_size = in.block_size;
+  if (in.profile == nullptr || in.profile->total_fs == 0) return out;
+
+  std::map<DatumKey, std::vector<const AccessRecord*>> writes_by_datum =
+      dominant_phase_writes(in.report, in.summary);
+
+  // Entries arrive sorted by descending miss count, so the plan grows in
+  // order of measured damage — deterministically.
+  for (const FalseSharingProfile::Entry& e : in.profile->entries) {
+    if (e.fs_misses < opt_.min_fs_misses) continue;
+    if (e.fs_share < opt_.min_fs_fraction) continue;
+    // Profile names that are not program data ("<barrier>") have no
+    // DatumClass and are skipped.
+    const DatumClass* dc = nullptr;
+    for (const DatumClass& d : in.report.data)
+      if (d.name == e.name) dc = &d;
+    if (dc == nullptr) continue;
+    if (plan_covers(out, dc->datum)) continue;
+
+    DecisionReason reason;
+    reason.code = ReasonCode::kProfileFalseSharing;
+    reason.fs_misses = e.fs_misses;
+    reason.fs_share = e.fs_share;
+
+    if (dc->is_lock) {
+      out.decisions.push_back({dc->datum, TransformKind::kLockPad, -1,
+                               PartitionShape::kBlocked, 1, reason});
+      continue;
+    }
+    // Per-process writes with a detectable linear partition axis: the
+    // locality-restoring transforms, same admissibility as §3.3 minus the
+    // weight threshold the profile has already disproven.
+    if (dc->writes == Pattern::kPerProcess && dc->writer_count >= 2 &&
+        dc->pid_dim >= 0) {
+      auto shape = detect_partition_shape(writes_by_datum[dc->datum],
+                                          in.summary, dc->datum, dc->pid_dim);
+      if (shape.has_value()) {
+        if (dc->pid_dim_is_field_dim && dc->datum.field >= 0) {
+          out.decisions.push_back({dc->datum, TransformKind::kIndirection,
+                                   dc->pid_dim, shape->first, shape->second,
+                                   reason});
+          continue;
+        }
+        if (dc->datum.field < 0) {
+          out.decisions.push_back(
+              {dc->datum, TransformKind::kGroupTranspose, dc->pid_dim,
+               shape->first, shape->second, reason});
+          continue;
+        }
+        // Field-level group&transpose needs whole-struct consensus the
+        // profile cannot grant; fall through to padding.
+      }
+    }
+    // Everything else: isolate the datum's elements in their own blocks.
+    i64 elem_count = 1;
+    for (i64 ext : dc->extents) elem_count *= ext;
+    if (elem_count * in.block_size > opt_.pad_footprint_limit) continue;
+    out.decisions.push_back({dc->datum, TransformKind::kPadAlign, -1,
+                             PartitionShape::kBlocked, 1, reason});
+  }
+  return out;
+}
+
+std::unique_ptr<Planner> make_planner(const std::string& name) {
+  if (name == "static") return std::make_unique<StaticPlanner>();
+  if (name == "profile") return std::make_unique<ProfilePlanner>();
+  throw InternalError("unknown planner '" + name +
+                      "' (expected static or profile)");
+}
+
+}  // namespace fsopt

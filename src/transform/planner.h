@@ -1,0 +1,108 @@
+// Pluggable planners: everything that can produce a TransformPlan.
+//
+// The paper's §3.3 heuristics were the repo's only decision-maker; the
+// Planner interface makes them one implementation among several so the
+// driver, tools and repair loop are written against "a planner" rather
+// than "the static heuristics".  Two implementations ship:
+//
+//   StaticPlanner   — the §3.3 heuristics (transform/decision.h),
+//                     behavior-preserving: its plan is bit-identical to
+//                     decide_transforms.
+//   ProfilePlanner  — starts from a base plan (normally the static one)
+//                     and adds decisions for data a false-sharing
+//                     *profile* shows the static weights missed.  The
+//                     profile is per-datum attributed miss counts from a
+//                     trace-driven simulation (driver/experiment.h
+//                     build_fs_profile); this layer only sees the plain
+//                     name-keyed numbers, keeping transform/ independent
+//                     of sim/ and driver/.
+//
+// The repair loop (driver/experiment.h repair_loop) alternates
+// ProfilePlanner with re-simulation until the plan reaches a fixed point.
+#pragma once
+
+#include "transform/decision.h"
+
+namespace fsopt {
+
+/// Per-datum false-sharing attribution from one simulated configuration.
+/// Names are the address-map spellings ("g", "g.f", "<barrier>"), which
+/// coincide with ProgramSummary::datum_name for program data.
+struct FalseSharingProfile {
+  struct Entry {
+    std::string name;
+    u64 fs_misses = 0;   // attributed false-sharing misses
+    u64 misses = 0;      // attributed misses of any kind
+    double fs_share = 0; // fs_misses / total attributed fs misses
+  };
+  /// Sorted by descending fs_misses (ties by name) — the order profile-
+  /// guided decisions are appended in.
+  std::vector<Entry> entries;
+  i64 block_size = 0;  // configuration the attribution was simulated at
+  u64 total_fs = 0;    // total attributed false-sharing misses
+
+  const Entry* find(const std::string& name) const;
+};
+
+/// Everything a planner may consult.  `profile` is null for planners that
+/// do not use one; `base` (when non-null) is the plan to refine rather
+/// than starting from scratch.
+struct PlannerInputs {
+  const SharingReport& report;
+  const ProgramSummary& summary;
+  DecisionOptions options;
+  i64 block_size = 128;
+  const FalseSharingProfile* profile = nullptr;
+  const TransformPlan* base = nullptr;
+};
+
+class Planner {
+ public:
+  virtual ~Planner() = default;
+  /// The name stamped into TransformPlan::planner.
+  virtual const char* name() const = 0;
+  virtual TransformPlan plan(const PlannerInputs& in) const = 0;
+};
+
+/// The §3.3 heuristics.  Ignores `profile` and `base`.
+class StaticPlanner : public Planner {
+ public:
+  const char* name() const override { return "static"; }
+  TransformPlan plan(const PlannerInputs& in) const override;
+};
+
+struct ProfilePlannerOptions {
+  /// A datum must carry at least this share of all attributed
+  /// false-sharing misses to be repaired.
+  double min_fs_fraction = 0.02;
+  /// ... and at least this many attributed false-sharing misses (guards
+  /// against amplifying noise in short traces).
+  u64 min_fs_misses = 16;
+  /// Pad budget for profile-driven padding.  Looser than the static
+  /// planner's: here the misses are *measured*, not estimated, so the
+  /// trade against capacity misses is made on evidence.
+  i64 pad_footprint_limit = 256 * 1024;
+};
+
+/// Profile-guided repair: extends `base` (or the static plan when no base
+/// is given) with decisions for the data the profile shows still falsely
+/// sharing.  Per datum: locks get lock-pad; per-process writes with a
+/// detectable partition shape get group&transpose / indirection; anything
+/// else gets pad & align within the (looser) footprint budget.  Existing
+/// decisions are never modified or removed — the repair loop converges
+/// because each iteration can only add.
+class ProfilePlanner : public Planner {
+ public:
+  explicit ProfilePlanner(ProfilePlannerOptions opt = {}) : opt_(opt) {}
+  const char* name() const override { return "profile"; }
+  TransformPlan plan(const PlannerInputs& in) const override;
+
+ private:
+  ProfilePlannerOptions opt_;
+};
+
+/// Planner registry for the CLI: "static" or "profile" (with default
+/// options).  Throws InternalError on unknown names.
+std::unique_ptr<Planner> make_planner(const std::string& name);
+
+}  // namespace fsopt

@@ -20,7 +20,7 @@ Ctx decide(std::string_view src, i64 nprocs = 8, DecisionOptions opt = {}) {
   c.prog = parse_and_check(src, diags, {{"NPROCS", nprocs}});
   c.summary = analyze_program(*c.prog);
   c.report = classify_sharing(c.summary);
-  c.transforms = decide_transforms(c.report, c.summary, opt);
+  c.transforms = decide_transforms(c.report, c.summary, 128, opt);
   return c;
 }
 

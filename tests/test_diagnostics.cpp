@@ -143,7 +143,7 @@ const char* kSmall =
 std::vector<std::string> expected_pass_names() {
   return {"parse",       "sema",   "callgraph", "pdv",
           "percf",       "phases", "sideeffects", "report",
-          "decide",      "layout", "codegen"};
+          "plan",        "layout", "codegen"};
 }
 
 TEST(PipelineMetrics, PassNamesAndOrdering) {

@@ -1,11 +1,24 @@
 // fsoptc — command-line driver for the fsopt restructurer.
 //
 //   fsoptc FILE.ppl [options]
+//   fsoptc --workload NAME [options]
 //
 //   --nprocs N          number of processes (overrides param NPROCS)
 //   --param NAME=VALUE  override any compile-time parameter (repeatable)
 //   --block N           coherence-unit size targeted by transforms (128)
 //   --no-optimize       skip the transformations (unoptimized layout)
+//   --workload NAME     compile a built-in workload (workloads/) instead
+//                       of a file, with its simulation problem sizes and
+//                       Figure-3 processor count as defaults
+//   --planner NAME      static (default): the §3.3 heuristics;
+//                       profile: run the detect->transform->verify repair
+//                       loop (trace, attribute false sharing per datum,
+//                       extend the plan, re-verify to a fixed point)
+//   --plan-out PATH     write the final transform plan as JSON
+//   --plan-in PATH      inject a transform plan from JSON instead of
+//                       planning (also adopts the plan's block size
+//                       unless --block is given explicitly)
+//   --plan-diff         print the plan diff vs the static §3.3 plan
 //   --report            print the sharing classification
 //   --transforms        print the transformation decisions
 //   --rewrite           print the runnable source-to-source output
@@ -40,6 +53,7 @@
 #include "driver/experiment.h"
 #include "obs/obs.h"
 #include "transform/source_rewrite.h"
+#include "workloads/workloads.h"
 
 using namespace fsopt;
 
@@ -47,8 +61,14 @@ namespace {
 
 struct Cli {
   std::string file;
+  std::string workload;
   CompileOptions options;
   bool optimize = true;
+  bool block_given = false;
+  std::string planner = "static";
+  std::string plan_out;
+  std::string plan_in;
+  bool plan_diff = false;
   bool report = false;
   bool transforms = false;
   bool rewrite = false;
@@ -66,7 +86,10 @@ struct Cli {
   std::fprintf(stderr,
                "usage: fsoptc FILE.ppl [--nprocs N] [--param K=V] "
                "[--block N]\n"
-               "              [--no-optimize] [--report] [--transforms]\n"
+               "              [--no-optimize] [--workload NAME]\n"
+               "              [--planner static|profile] [--plan-out PATH]\n"
+               "              [--plan-in PATH] [--plan-diff]\n"
+               "              [--report] [--transforms]\n"
                "              [--rewrite] [--run] [--miss [B,...]] [--ksr]\n"
                "              [--disasm] [--timings[=json]] [--threads N]\n"
                "              [--trace-out PATH] [--trace-summary]\n");
@@ -91,8 +114,21 @@ Cli parse_cli(int argc, char** argv) {
           std::atoll(kv.c_str() + eq + 1);
     } else if (a == "--block") {
       cli.options.block_size = std::atoll(next().c_str());
+      cli.block_given = true;
     } else if (a == "--no-optimize") {
       cli.optimize = false;
+    } else if (a == "--workload") {
+      cli.workload = next();
+    } else if (a == "--planner") {
+      cli.planner = next();
+      if (cli.planner != "static" && cli.planner != "profile")
+        usage("--planner expects static or profile");
+    } else if (a == "--plan-out") {
+      cli.plan_out = next();
+    } else if (a == "--plan-in") {
+      cli.plan_in = next();
+    } else if (a == "--plan-diff") {
+      cli.plan_diff = true;
     } else if (a == "--report") {
       cli.report = true;
     } else if (a == "--transforms") {
@@ -132,12 +168,37 @@ Cli parse_cli(int argc, char** argv) {
       usage("multiple input files");
     }
   }
-  if (cli.file.empty()) usage(nullptr);
+  if (cli.file.empty() == cli.workload.empty())
+    usage(cli.file.empty() ? nullptr
+                           : "give either FILE.ppl or --workload, not both");
+  if (!cli.plan_in.empty() && cli.planner == "profile")
+    usage("--plan-in and --planner=profile are mutually exclusive");
   if (!cli.report && !cli.transforms && !cli.rewrite && !cli.run &&
-      !cli.miss && !cli.ksr && !cli.disasm && !cli.timings) {
+      !cli.miss && !cli.ksr && !cli.disasm && !cli.timings &&
+      cli.plan_out.empty() && !cli.plan_diff) {
     cli.transforms = cli.miss = cli.ksr = true;
   }
   return cli;
+}
+
+std::string read_file(const std::string& path, const char* what) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fsoptc: cannot open %s %s\n", what, path.c_str());
+    std::exit(1);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "fsoptc: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << content;
 }
 
 }  // namespace
@@ -146,19 +207,72 @@ int main(int argc, char** argv) {
   Cli cli = parse_cli(argc, argv);
   if (obs::enabled()) obs::set_thread_name("main");
 
-  std::ifstream in(cli.file);
-  if (!in) {
-    std::fprintf(stderr, "fsoptc: cannot open %s\n", cli.file.c_str());
-    return 1;
+  std::string source;
+  std::string display_name = cli.file;
+  if (!cli.workload.empty()) {
+    try {
+      const workloads::Workload& w = workloads::get(cli.workload);
+      source = w.natural;
+      display_name = "<workload:" + w.name + ">";
+      // Workload defaults; explicit --nprocs / --param win.
+      ParamOverrides defaults = w.sim_overrides;
+      defaults["NPROCS"] = w.fig3_procs;
+      for (const auto& [k, v] : defaults)
+        cli.options.overrides.emplace(k, v);
+    } catch (const InternalError& e) {
+      std::fprintf(stderr, "fsoptc: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    source = read_file(cli.file, "input");
   }
-  std::stringstream buf;
-  buf << in.rdbuf();
-  std::string source = buf.str();
 
   try {
     cli.options.optimize = cli.optimize;
+
     PipelineMetrics metrics;
-    Compiled c = compile_source_metered(source, cli.options, &metrics);
+    Compiled c;
+    if (cli.planner == "profile") {
+      // The detect -> transform -> verify loop (driver/experiment.h).
+      RepairLoopOptions rl;
+      rl.block_size = cli.options.block_size;
+      RepairResult rr = repair_loop(source, cli.options, rl);
+      c = std::move(rr.final_compiled);
+      std::printf(
+          "repair loop: %zu iteration(s)%s, false-sharing misses "
+          "%llu -> %llu at block %lld\n",
+          rr.iterations.size(), rr.converged ? " (converged)" : "",
+          static_cast<unsigned long long>(rr.baseline.false_sharing),
+          static_cast<unsigned long long>(rr.final_stats().false_sharing),
+          static_cast<long long>(rl.block_size));
+      if (cli.plan_diff)
+        std::printf("--- plan diff (static -> profile) ---\n%s",
+                    plan_diff(rr.static_plan, rr.final_plan())
+                        .render(c.summary)
+                        .c_str());
+    } else {
+      // Front first so an injected plan can be resolved against the
+      // program's symbols before the back half runs.
+      FrontHalf front = run_front(source, cli.options.overrides);
+      if (!cli.plan_in.empty()) {
+        TransformPlan plan =
+            plan_from_json(read_file(cli.plan_in, "plan"), *front.prog);
+        if (!cli.block_given) cli.options.block_size = plan.block_size;
+        cli.options.plan =
+            std::make_shared<const TransformPlan>(std::move(plan));
+      }
+      c = run_back(front, cli.options, &metrics);
+      if (cli.plan_diff) {
+        TransformSet staticplan = decide_transforms(
+            c.report, c.summary, cli.options.block_size, cli.options.decision);
+        std::printf("--- plan diff (static -> active) ---\n%s",
+                    plan_diff(staticplan, c.transforms)
+                        .render(c.summary)
+                        .c_str());
+      }
+    }
+    if (!cli.plan_out.empty())
+      write_file(cli.plan_out, plan_to_json(c.transforms, *c.prog));
 
     if (cli.timings) {
       if (cli.timings_json)
@@ -215,17 +329,18 @@ int main(int argc, char** argv) {
   } catch (const CompileError& e) {
     // One line per diagnostic, compiler-style, with the source location.
     if (e.diagnostics.empty()) {
-      std::fprintf(stderr, "%s: error: %s\n", cli.file.c_str(), e.what());
+      std::fprintf(stderr, "%s: error: %s\n", display_name.c_str(),
+                   e.what());
     } else {
       for (const Diagnostic& d : e.diagnostics) {
         const char* sev = d.severity == DiagSeverity::kError     ? "error"
                           : d.severity == DiagSeverity::kWarning ? "warning"
                                                                  : "note";
         if (d.loc.valid())
-          std::fprintf(stderr, "%s:%d:%d: %s: %s\n", cli.file.c_str(),
+          std::fprintf(stderr, "%s:%d:%d: %s: %s\n", display_name.c_str(),
                        d.loc.line, d.loc.col, sev, d.message.c_str());
         else
-          std::fprintf(stderr, "%s: %s: %s\n", cli.file.c_str(), sev,
+          std::fprintf(stderr, "%s: %s: %s\n", display_name.c_str(), sev,
                        d.message.c_str());
       }
     }
