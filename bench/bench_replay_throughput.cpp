@@ -30,11 +30,13 @@
 // *disabled* instrumentation on a sharded replay exceeds 2% of the replay
 // itself.
 #include <cmath>
+#include <cstdlib>
 #include <thread>
 
 #include "baseline_cache.h"
 #include "bench_util.h"
 #include "obs/obs.h"
+#include "support/simd.h"
 #include "support/timing.h"
 
 using namespace fsopt;
@@ -52,6 +54,29 @@ namespace {
 
 std::string human(double refs_per_sec) {
   return fixed(refs_per_sec / 1e6, 1) + " Mref/s";
+}
+
+/// Order-sensitive FNV-1a over every counter of every plane, reduced to
+/// 32 bits so it round-trips exactly through the JSON doubles.  CI runs
+/// the bench once with FSOPT_SIMD=0 and once with it unset and diffs
+/// this fingerprint — any engine-path-dependent counter changes it.
+u32 fingerprint_stats(const std::vector<MissStats>& v) {
+  u64 h = 1469598103934665603ull;
+  auto mix = [&h](u64 x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  for (const MissStats& s : v) {
+    mix(s.refs);
+    mix(s.hits);
+    mix(s.cold);
+    mix(s.replacement);
+    mix(s.true_sharing);
+    mix(s.false_sharing);
+    mix(s.upgrades);
+    mix(s.invalidations);
+  }
+  return static_cast<u32>(h ^ (h >> 32));
 }
 
 }  // namespace
@@ -119,6 +144,16 @@ int main(int argc, char** argv) {
   JsonReport json;
   json.add(workload, "refs", refs);
   json.add(workload, "cpus", static_cast<double>(cpus));
+  // The simd / pipeline / composed sections below are schedule-dependent:
+  // their ratios only mean something next to the vector features and the
+  // core count of the host that produced them.
+  json.add("host", "cpu_features", simd::cpu_features());
+  json.add("host", "cpus", static_cast<double>(cpus));
+  if (cpus == 1)
+    json.add("host", "note",
+             std::string("single-core host: pipeline and composed-shard "
+                         "speedups are exactness checks here; their "
+                         "parallel headroom needs >= 2 cores"));
 
   // --- 1+2: serial flat vs. hash, plain and attributed ----------------
   TextTable serial({"block", "hash", "flat", "speedup", "hash+attr",
@@ -375,6 +410,168 @@ int main(int argc, char** argv) {
     json.add("sweep", "single_pass_speedup_geomean", sweep_geomean);
     std::printf("--- single-pass sweep speedup across workloads ---\n%s\n",
                 sweeps.render().c_str());
+  }
+
+  // --- 4d: simd engine path, forced-scalar vs runtime-dispatched -------
+  // Cross-invocation timing drifts ~15% on shared hosts, so the scalar
+  // baseline and the dispatched engine run in one process: the engine
+  // snapshots the active kernel set at construction, and set_force_scalar
+  // flips which set a fresh engine picks up.  The two walks must agree on
+  // every counter of every plane — that fingerprint is also the value CI
+  // diffs across its FSOPT_SIMD=0 / unset runs.
+  {
+    EncodedTrace enc = encode_trace(trace);
+    std::vector<CacheParams> params;
+    for (i64 b : paper_block_sizes())
+      params.push_back({c.nprocs(), 32 * 1024, b, c.code.total_bytes});
+
+    simd::set_force_scalar(1);
+    MultiReplayResult m_scalar;
+    double t_scalar = best_of(repeats, [&] {
+      m_scalar = replay_multi(enc, params, nullptr, /*threads=*/1);
+    });
+    simd::set_force_scalar(-1);  // back to FSOPT_SIMD / detection
+    MultiReplayResult m_simd;
+    double t_simd = best_of(repeats, [&] {
+      m_simd = replay_multi(enc, params, nullptr, /*threads=*/1);
+    });
+    simd::set_batch_vector(1);
+    MultiReplayResult m_batch;
+    double t_batch = best_of(repeats, [&] {
+      m_batch = replay_multi(enc, params, nullptr, /*threads=*/1);
+    });
+    simd::set_batch_vector(-1);
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (m_scalar.stats[i] != m_simd.stats[i])
+        mismatch("forced-scalar and dispatched engine stats",
+                 params[i].block_size);
+      if (m_scalar.stats[i] != m_batch.stats[i])
+        mismatch("forced-scalar and vector-batch engine stats",
+                 params[i].block_size);
+    }
+
+    const double nwork = refs * static_cast<double>(params.size());
+    std::printf("--- simd engine path (host: %s) ---\n",
+                simd::cpu_features().c_str());
+    TextTable st({"engine", "time", "throughput", "speedup"});
+    st.add_row({"forced scalar", fixed(t_scalar, 3) + "s",
+                human(nwork / t_scalar), "1.00"});
+    st.add_row({std::string(simd::level_name(simd::active_level())) +
+                    " kernels",
+                fixed(t_simd, 3) + "s", human(nwork / t_simd),
+                fixed(t_scalar / t_simd, 2) + "x"});
+    st.add_row({"gather batch loop", fixed(t_batch, 3) + "s",
+                human(nwork / t_batch), fixed(t_scalar / t_batch, 2) + "x"});
+    std::printf("%s\n", st.render().c_str());
+    json.add(workload, "simd_scalar_sec", t_scalar);
+    json.add(workload, "simd_active_sec", t_simd);
+    json.add(workload, "simd_batch_sec", t_batch);
+    json.add(workload, "simd_speedup", t_scalar / t_simd);
+    json.add(workload, "simd_level_active",
+             static_cast<double>(static_cast<int>(simd::active_level())));
+    json.add(workload, "sweep_stats_fingerprint",
+             static_cast<double>(fingerprint_stats(m_simd.stats)));
+  }
+
+  // --- 4e: pipelined chunk decode --------------------------------------
+  // replay_pipelined overlaps the varint decode of chunk N+1 with the
+  // simulation of chunk N.  FSOPT_PIPELINE=1 forces the threaded path so
+  // the hand-off (and its bit-identity) is exercised even on one core;
+  // the speedup column is only meaningful with >= 2 cores.
+  {
+    EncodedTrace enc = encode_trace(trace);
+    std::vector<CacheParams> params;
+    for (i64 b : paper_block_sizes())
+      params.push_back({c.nprocs(), 32 * 1024, b, c.code.total_bytes});
+
+    setenv("FSOPT_PIPELINE", "0", 1);
+    MultiReplayResult m_serial;
+    double t_serial = best_of(repeats, [&] {
+      m_serial = replay_multi(enc, params, nullptr, /*threads=*/1);
+    });
+    setenv("FSOPT_PIPELINE", "1", 1);
+    MultiReplayResult m_pipe;
+    double t_pipe = best_of(repeats, [&] {
+      m_pipe = replay_multi(enc, params, nullptr, /*threads=*/1);
+    });
+    unsetenv("FSOPT_PIPELINE");
+    for (size_t i = 0; i < params.size(); ++i)
+      if (m_serial.stats[i] != m_pipe.stats[i])
+        mismatch("serial-decode and pipelined-decode stats",
+                 params[i].block_size);
+
+    const double nwork = refs * static_cast<double>(params.size());
+    std::printf("--- pipelined chunk decode (%zu chunks, %d cpu%s) ---\n",
+                enc.chunk_count(), cpus, cpus == 1 ? "" : "s");
+    TextTable pt({"decode", "time", "throughput", "speedup"});
+    pt.add_row({"serial", fixed(t_serial, 3) + "s", human(nwork / t_serial),
+                "1.00"});
+    pt.add_row({"pipelined", fixed(t_pipe, 3) + "s", human(nwork / t_pipe),
+                fixed(t_serial / t_pipe, 2) + "x"});
+    std::printf("%s\n", pt.render().c_str());
+    json.add(workload, "pipeline_serial_sec", t_serial);
+    json.add(workload, "pipeline_pipelined_sec", t_pipe);
+    json.add(workload, "pipeline_speedup", t_serial / t_pipe);
+  }
+
+  // --- 4f: composed sharded x multi-configuration sweep ----------------
+  // replay_multi_partitioned: one region-granular partition, each shard
+  // simulating every plane of the sweep at once.  Hard-fails on any
+  // counter or attribution drift vs the serial single-pass walk — the
+  // composition is supposed to be exact, not approximate.  Speedup over
+  // the serial walk needs >= 2 cores to materialize; on one core the
+  // interesting numbers are the (reusable) partition cost and the
+  // near-1.0 replay ratio.
+  {
+    EncodedTrace enc = encode_trace(trace);
+    std::vector<CacheParams> params;
+    for (i64 b : paper_block_sizes())
+      params.push_back({c.nprocs(), 32 * 1024, b, c.code.total_bytes});
+
+    MultiReplayResult m_serial;
+    double t_serial = best_of(repeats, [&] {
+      m_serial = replay_multi(enc, params, nullptr, /*threads=*/1);
+    });
+
+    std::printf("--- composed sharded x multi-config sweep (%d cpu%s) ---\n",
+                cpus, cpus == 1 ? "" : "s");
+    TextTable ct({"shards", "partition", "replay", "refs/s", "vs serial"});
+    ct.add_row({"1 (serial)", "-", fixed(t_serial, 3) + "s",
+                human(refs / t_serial), "1.00x"});
+    json.add(workload, "composed_serial_sec", t_serial);
+    const double nwork = refs * static_cast<double>(params.size());
+    for (int k : {2, 4, 8}) {
+      MultiShardPlan plan = multi_shard_plan(params, k);
+      if (plan.shards != k) {
+        std::printf("(skipping %d shards: plan clamps to %d for this"
+                    " plane set)\n",
+                    k, plan.shards);
+        continue;
+      }
+      MultiTracePartition part;
+      double t_part = time_once([&] {
+        part = partition_trace_multi(enc, plan.region_bytes, plan.shards);
+      });
+      MultiReplayResult m_comp;
+      double t_replay = best_of(repeats, [&] {
+        m_comp = replay_multi_partitioned(part, params, nullptr, k);
+      });
+      for (size_t i = 0; i < params.size(); ++i)
+        if (m_comp.stats[i] != m_serial.stats[i])
+          mismatch("serial and composed sharded sweep stats",
+                   params[i].block_size);
+      std::string ks = std::to_string(k);
+      ct.add_row({ks, fixed(t_part, 3) + "s", fixed(t_replay, 3) + "s",
+                  human(refs / t_replay),
+                  fixed(t_serial / t_replay, 2) + "x"});
+      json.add(workload, "composed_shard" + ks + "_partition_sec", t_part);
+      json.add(workload, "composed_shard" + ks + "_sec", t_replay);
+      json.add(workload, "composed_shard" + ks + "_speedup",
+               t_serial / t_replay);
+      json.add(workload, "composed_shard" + ks + "_refs_per_sec",
+               nwork / t_replay);
+    }
+    std::printf("%s\n", ct.render().c_str());
   }
 
   // --- 4c: address-map lookup (the per-attributed-event hot path) ------

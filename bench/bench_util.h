@@ -83,7 +83,13 @@ class JsonReport {
  public:
   void add(const std::string& workload, const std::string& metric,
            double value) {
-    rows_.push_back({workload, metric, value});
+    rows_.push_back({workload, metric, value, "", false});
+  }
+
+  /// String-valued metric (host descriptions, feature strings).
+  void add(const std::string& workload, const std::string& metric,
+           const std::string& text) {
+    rows_.push_back({workload, metric, 0, text, true});
   }
 
   /// Write to `path`; no-op when path is empty.  Exits with an error
@@ -94,11 +100,13 @@ class JsonReport {
     json::Writer w(&doc, 2);
     w.begin_object().key("results").begin_array();
     for (const Row& r : rows_) {
-      w.begin_object()
-          .key("workload").value(r.workload)
-          .key("metric").value(r.metric)
-          .key("value").value(r.value)
-          .end_object();
+      w.begin_object().key("workload").value(r.workload).key("metric").value(
+          r.metric);
+      if (r.is_text)
+        w.key("value").value(r.text);
+      else
+        w.key("value").value(r.value);
+      w.end_object();
     }
     w.end_array().end_object();
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -116,6 +124,8 @@ class JsonReport {
     std::string workload;
     std::string metric;
     double value;
+    std::string text;
+    bool is_text;
   };
   std::vector<Row> rows_;
 };

@@ -339,26 +339,61 @@ TraceStudyResult replay_trace_study_impl(const Trace& trace,
     params[i] = CacheParams{c.nprocs(), l1_bytes, block_sizes[i],
                             c.code.total_bytes};
 
-  // Shard budget: the cross-config fan-out claims one worker per
-  // configuration; an explicit `shards` overrides, otherwise whatever of
-  // the thread budget is left over splits each configuration's replay.
+  TraceStudyResult out;
+  out.refs = trace.size();
+
+  // Sharded sweeps go through the composed engine: ONE region-granular
+  // partition serves every configuration, and each shard replays all of
+  // them in a single walk (replay_multi_partitioned) — the trace is
+  // decoded and partitioned once instead of once per configuration.
+  // The composed path claims the whole thread budget (each shard
+  // simulates every plane); an explicit `shards` overrides the auto
+  // budget.  Exactness is unconditional: the composed result is
+  // bit-identical to the serial single-pass replay for every K.
+  const bool auto_shard = shards == 0;
+  const bool big_trace = trace.size() >= kAutoShardMinRefs;
   int requested = shards;
-  if (requested == 0) {
-    requested = nconf > 0 && trace.size() >= kAutoShardMinRefs
-                    ? static_cast<int>(std::min<size_t>(
-                          kAutoShardMax,
-                          static_cast<size_t>(threads) / nconf))
-                    : 1;
+  if (auto_shard)
+    requested = big_trace ? std::min(kAutoShardMax, threads) : 1;
+  const MultiShardPlan plan =
+      nconf > 0 ? multi_shard_plan(params, requested) : MultiShardPlan{};
+  if (plan.shards > 1) {
+    MultiTracePartition part;
+    {
+      obs::Span span("replay", "partition");
+      part = partition_trace_multi(trace, plan.region_bytes, plan.shards);
+      if (span.active()) {
+        span.arg("region", static_cast<double>(plan.region_bytes));
+        span.arg("shards", static_cast<double>(plan.shards));
+      }
+    }
+    MultiReplayResult multi =
+        replay_multi_partitioned(part, params, attribution, threads);
+    for (size_t i = 0; i < nconf; ++i) {
+      out.by_block[block_sizes[i]] = multi.stats[i];
+      if (attribution != nullptr)
+        out.by_datum[block_sizes[i]] = std::move(multi.by_datum[i]);
+    }
+    return out;
+  }
+
+  // Composition impossible (heterogeneous geometry the region partition
+  // cannot nest): fall back to per-configuration sharding, dividing the
+  // thread budget among the configurations.
+  int per_config = shards;
+  if (auto_shard) {
+    per_config = nconf > 0 && big_trace
+                     ? static_cast<int>(std::min<size_t>(
+                           kAutoShardMax,
+                           static_cast<size_t>(threads) / nconf))
+                     : 1;
   }
   std::vector<int> shard_count(nconf, 1);
   bool any_sharded = false;
   for (size_t i = 0; i < nconf; ++i) {
-    shard_count[i] = effective_shard_count(requested, params[i]);
+    shard_count[i] = effective_shard_count(per_config, params[i]);
     any_sharded = any_sharded || shard_count[i] > 1;
   }
-
-  TraceStudyResult out;
-  out.refs = trace.size();
 
   if (!any_sharded) {
     // Single pass: every block size is a plane of one multi-replay, so

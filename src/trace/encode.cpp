@@ -1,7 +1,14 @@
 #include "trace/encode.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "obs/obs.h"
 
 namespace fsopt {
 
@@ -94,7 +101,32 @@ struct ChunkCursor {
       }
       i64& last = last_addr[run_ref.proc];
       const u64 take = std::min<u64>(run_left, cap - n);
-      for (u64 i = 0; i < take; ++i) {
+      u64 done = 0;
+      // SWAR fast path: most address deltas are one byte (|delta| < 64
+      // after zigzag), so one 8-byte load whose continuation bits are
+      // all clear yields eight complete varints — decoded with shifts
+      // instead of eight bounds-checked byte loops.  A window with any
+      // continuation bit falls back to one scalar varint, then retries
+      // the fast path on the next window.
+      while (done + 8 <= take && aend - ap >= 8) {
+        u64 x;
+        std::memcpy(&x, ap, 8);
+        if ((x & 0x8080808080808080ull) == 0) {
+          ap += 8;
+          for (int j = 0; j < 8; ++j) {
+            last += unzigzag((x >> (8 * j)) & 0xFF);
+            run_ref.addr = last;
+            out[n++] = run_ref;
+          }
+          done += 8;
+        } else {
+          last += unzigzag(get_varint(ap, aend));
+          run_ref.addr = last;
+          out[n++] = run_ref;
+          ++done;
+        }
+      }
+      for (; done < take; ++done) {
         last += unzigzag(get_varint(ap, aend));
         run_ref.addr = last;
         out[n++] = run_ref;
@@ -109,13 +141,24 @@ struct ChunkCursor {
   }
 };
 
+}  // namespace
+
 /// Replay hands the sink one sub-batch at a time: a whole decoded chunk
 /// (1 MB of MemRefs at the default chunk size) would fall out of cache
 /// between the decode and the sink's walk, while a sub-batch stays
 /// resident across the handoff.
-constexpr size_t kReplayBatchRefs = 4096;
-
-}  // namespace
+size_t replay_batch_refs() {
+  static const size_t cached = [] {
+    constexpr size_t kDefault = 4096;
+    const char* env = std::getenv("FSOPT_REPLAY_BATCH");
+    if (env == nullptr || env[0] == '\0') return kDefault;
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || v <= 0) return kDefault;
+    return std::clamp<size_t>(static_cast<size_t>(v), 64, size_t{1} << 20);
+  }();
+  return cached;
+}
 
 void EncodedTrace::decode_chunk(size_t k, std::vector<MemRef>& out) const {
   const EncodedChunk& c = chunks_[k];
@@ -127,7 +170,7 @@ void EncodedTrace::decode_chunk(size_t k, std::vector<MemRef>& out) const {
 }
 
 void EncodedTrace::replay(TraceSink& sink) const {
-  std::vector<MemRef> scratch(kReplayBatchRefs);
+  std::vector<MemRef> scratch(replay_batch_refs());
   for (const EncodedChunk& c : chunks_) {
     ChunkCursor cur(c);
     while (!cur.done()) {
@@ -135,6 +178,111 @@ void EncodedTrace::replay(TraceSink& sink) const {
       if (n != 0) sink.on_batch(scratch.data(), n);
     }
   }
+}
+
+void EncodedTrace::replay_pipelined(TraceSink& sink) const {
+  const char* env = std::getenv("FSOPT_PIPELINE");
+  const bool forced_off = env != nullptr && env[0] == '0' && env[1] == '\0';
+  const bool forced_on = env != nullptr && env[0] == '1' && env[1] == '\0';
+  const bool threaded =
+      !forced_off && chunks_.size() >= 2 &&
+      (forced_on || std::thread::hardware_concurrency() >= 2);
+  if (!threaded) {
+    // Nothing to overlap (or no spare hardware thread to decode on):
+    // the serial path is the same stream without the hand-off cost.
+    replay(sink);
+    return;
+  }
+
+  const size_t batch = replay_batch_refs();
+
+  // Two rotating chunk buffers: the decoder fills one while the
+  // consumer slices the other into replay()-identical sub-batches.
+  // The buffers persist across chunks, so after the first two fills
+  // the pipeline allocates nothing.
+  struct Slot {
+    std::vector<MemRef> refs;
+    size_t n = 0;
+    bool full = false;
+  };
+  Slot slots[2];
+  std::mutex mu;
+  std::condition_variable cv_full, cv_free;
+  bool decoder_done = false;
+  bool aborted = false;
+  std::exception_ptr decoder_err;
+
+  std::thread decoder([&] {
+    try {
+      size_t which = 0;
+      for (const EncodedChunk& c : chunks_) {
+        Slot& s = slots[which];
+        {
+          std::unique_lock<std::mutex> lk(mu);
+          cv_free.wait(lk, [&] { return !s.full || aborted; });
+          if (aborted) break;
+        }
+        obs::Span span("replay", "decode_chunk");
+        s.refs.resize(c.refs);
+        ChunkCursor cur(c);
+        const size_t n = cur.next(s.refs.data(), c.refs);
+        FSOPT_CHECK(n == c.refs && cur.done(),
+                    "corrupt run length in encoded trace chunk");
+        s.n = n;
+        if (span.active()) span.arg("refs", static_cast<double>(n));
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          s.full = true;
+        }
+        cv_full.notify_one();
+        which ^= 1;
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu);
+      decoder_err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      decoder_done = true;
+    }
+    cv_full.notify_one();
+  });
+
+  size_t which = 0;
+  size_t chunks_left = chunks_.size();
+  try {
+    while (chunks_left > 0) {
+      Slot& s = slots[which];
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv_full.wait(lk, [&] { return s.full || decoder_done; });
+        if (!s.full) break;  // decoder died; its error is rethrown below
+      }
+      obs::Span span("replay", "sim_chunk");
+      for (size_t off = 0; off < s.n; off += batch)
+        sink.on_batch(s.refs.data() + off, std::min(batch, s.n - off));
+      if (span.active()) span.arg("refs", static_cast<double>(s.n));
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        s.full = false;
+      }
+      cv_free.notify_one();
+      which ^= 1;
+      --chunks_left;
+    }
+  } catch (...) {
+    // The sink threw mid-stream; release the decoder (it may be
+    // blocked on a free slot) and propagate the sink's error.
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      aborted = true;
+    }
+    cv_free.notify_all();
+    decoder.join();
+    throw;
+  }
+  decoder.join();
+  if (decoder_err) std::rethrow_exception(decoder_err);
 }
 
 TraceEncoder::TraceEncoder(size_t chunk_refs)

@@ -66,9 +66,22 @@ class EncodedTrace {
 
   /// Deliver the whole stream, in order, to `sink`.  Each chunk is
   /// decoded incrementally through a resumable cursor and delivered in
-  /// sub-batches of a few thousand references, so peak extra memory is
-  /// a fixed small scratch buffer regardless of trace or chunk size.
+  /// sub-batches of replay_batch_refs() references, so peak extra
+  /// memory is a fixed small scratch buffer regardless of trace or
+  /// chunk size.
   void replay(TraceSink& sink) const;
+
+  /// replay(), with the chunk decode pipelined ahead of the sink: a
+  /// decoder thread fills one of two rotating chunk buffers while the
+  /// consumer walks the other, so the varint decode of chunk N+1
+  /// overlaps the simulation of chunk N.  The sink sees the same
+  /// stream in the same sub-batch boundaries as replay() — only the
+  /// wall-clock schedule changes — and is driven from the calling
+  /// thread only.  Falls back to the serial replay() when there is
+  /// nothing to overlap (a single chunk), when the host has only one
+  /// hardware thread, or when FSOPT_PIPELINE=0; FSOPT_PIPELINE=1
+  /// forces the threaded path regardless of core count.
+  void replay_pipelined(TraceSink& sink) const;
 
  private:
   friend class TraceEncoder;
@@ -113,5 +126,12 @@ class TraceEncoder : public TraceSink {
 /// Encode an already-recorded raw trace.
 EncodedTrace encode_trace(const TraceBuffer& trace,
                           size_t chunk_refs = TraceBuffer::kDefaultChunkRefs);
+
+/// References per replay sub-batch handed to the sink: FSOPT_REPLAY_BATCH
+/// (clamped to [64, 1M]), default 4096 — small enough that a decoded
+/// sub-batch is still cache-resident when the simulator walks it, large
+/// enough to amortize the per-batch virtual dispatch (see the bench's
+/// codec section for the measurement behind the default).  Parsed once.
+size_t replay_batch_refs();
 
 }  // namespace fsopt

@@ -78,4 +78,19 @@ TracePartition partition_trace(const EncodedTrace& trace, i64 block_size,
   return out;
 }
 
+// The region partition IS a block partition taken at the region size:
+// shard k owns the references whose region index addr / region_bytes
+// is congruent to k, and region-spanning references split into
+// per-region pieces with the same (ordinal, part) tags.
+
+MultiTracePartition partition_trace_multi(const TraceBuffer& trace,
+                                          i64 region_bytes, int shards) {
+  return {partition_trace(trace, region_bytes, shards), region_bytes};
+}
+
+MultiTracePartition partition_trace_multi(const EncodedTrace& trace,
+                                          i64 region_bytes, int shards) {
+  return {partition_trace(trace, region_bytes, shards), region_bytes};
+}
+
 }  // namespace fsopt

@@ -65,4 +65,35 @@ TracePartition partition_trace(const TraceBuffer& trace, i64 block_size,
 TracePartition partition_trace(const EncodedTrace& trace, i64 block_size,
                                int shards);
 
+/// A trace partitioned once, at *region* granularity, for the composed
+/// sharded × multi-configuration replay (replay_multi_partitioned).
+///
+/// The region is a common multiple of every plane's block size (in
+/// practice the largest block of the sweep), so a region — and with it
+/// every plane's blocks inside that region — belongs to exactly one
+/// shard, and one partition serves all planes at once.  Because each
+/// plane's set index is the block number modulo a power-of-two set
+/// count, a shard count that divides every plane's
+/// cache_bytes / region_bytes also keeps every plane's LRU sets
+/// shard-pure, which is what makes the composition exact
+/// (multi_shard_plan in sim/multi.h computes the largest such count).
+/// Region-spanning references split into per-region pieces exactly like
+/// block-spanning ones; region boundaries are block boundaries for
+/// every plane, so a piece never splits a plane's block across shards.
+struct MultiTracePartition {
+  TracePartition part;   // block_size == region_bytes
+  i64 region_bytes = 0;
+};
+
+/// Partition `trace` at `region_bytes` granularity across `shards`
+/// shards for a composed multi-plane replay.  Callers derive both
+/// values with multi_shard_plan (sim/multi.h) so the composition is
+/// exact for every plane.
+MultiTracePartition partition_trace_multi(const TraceBuffer& trace,
+                                          i64 region_bytes, int shards);
+
+/// Same, streaming straight from a compressed trace.
+MultiTracePartition partition_trace_multi(const EncodedTrace& trace,
+                                          i64 region_bytes, int shards);
+
 }  // namespace fsopt

@@ -1,0 +1,198 @@
+// Differential suite for the composed sharded × multi-configuration
+// replay (replay_multi_partitioned): one region-granular partition,
+// each shard simulating every plane, must be bit-identical — aggregate
+// stats AND per-datum attribution — to the serial single-pass
+// replay_multi and to the per-configuration sharded path
+// (replay_partitioned), for every shard count and across the full
+// 29-cell workload matrix.
+#include "sim/multi.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "trace/shard.h"
+#include "workloads/workloads.h"
+
+namespace fsopt {
+namespace {
+
+std::vector<CacheParams> sweep_params(i64 nprocs, i64 total,
+                                      const std::vector<i64>& blocks,
+                                      i64 l1 = 32 * 1024) {
+  std::vector<CacheParams> out;
+  for (i64 b : blocks) out.push_back({nprocs, l1, b, total});
+  return out;
+}
+
+TraceBuffer make_trace(const std::vector<MemRef>& refs) {
+  TraceBuffer t;
+  t.on_batch(refs.data(), refs.size());
+  return t;
+}
+
+TEST(MultiShardPlan, RegionIsLargestBlockAndShardsDivideEveryPlane) {
+  // Blocks {4..256}, 2 KB caches: region 256, region count 2048/256 = 8
+  // — so 8 shards compose exactly, and a request of 5 falls to 4.
+  std::vector<CacheParams> params = sweep_params(4, 1 << 16, {4, 32, 256},
+                                                 /*l1=*/2048);
+  MultiShardPlan plan = multi_shard_plan(params, 8);
+  EXPECT_EQ(plan.region_bytes, 256);
+  EXPECT_EQ(plan.shards, 8);
+  EXPECT_EQ(multi_shard_plan(params, 5).shards, 4);
+  EXPECT_EQ(multi_shard_plan(params, 1).shards, 1);
+  // A 2-way plane halves its region count (2048/256/2 = 4), so the
+  // exact shard bound for the whole set drops from 8 to 4.
+  params.push_back({4, 2048, 4, 1 << 16});
+  params.back().associativity = 2;
+  EXPECT_EQ(multi_shard_plan(params, 8).shards, 4);
+}
+
+TEST(MultiShardReplay, SyntheticStreamMatchesSerialForEveryShardCount) {
+  // Ping-pong false sharing plus private strides plus 8-byte accesses
+  // that straddle region boundaries (addr 252..260 spans two 256-byte
+  // regions), exercising the cross-shard split reassembly.
+  std::vector<MemRef> refs;
+  for (int i = 0; i < 4000; ++i) {
+    u8 proc = static_cast<u8>(i % 4);
+    refs.push_back({proc * 4, 4, proc,
+                    i % 3 == 0 ? RefType::kWrite : RefType::kRead});
+    refs.push_back({1024 + proc * 256 + (i % 32) * 8, 8, proc,
+                    RefType::kRead});
+    if (i % 7 == 0)
+      refs.push_back({252 + (i % 5) * 256, 8, proc, RefType::kWrite});
+  }
+  TraceBuffer raw = make_trace(refs);
+  AddressMap am;
+  am.add(0, 64, "hot");
+  am.add(64, 1 << 14, "cold");
+  std::vector<CacheParams> params =
+      sweep_params(4, 1 << 16, {4, 8, 16, 32, 64, 128, 256}, /*l1=*/2048);
+
+  MultiReplayResult serial = replay_multi(raw, params, &am);
+  for (int k : {1, 2, 4, 8}) {
+    MultiShardPlan plan = multi_shard_plan(params, k);
+    EXPECT_EQ(plan.shards, k);
+    MultiTracePartition part =
+        partition_trace_multi(raw, plan.region_bytes, plan.shards);
+    MultiReplayResult composed =
+        replay_multi_partitioned(part, params, &am);
+    EXPECT_EQ(serial.stats, composed.stats) << "shards=" << k;
+    EXPECT_EQ(serial.by_datum, composed.by_datum) << "shards=" << k;
+  }
+}
+
+TEST(MultiShardReplay, EncodedAndRawPartitionsAgree) {
+  std::vector<MemRef> refs;
+  for (int i = 0; i < 3000; ++i)
+    refs.push_back({(i * 52) % 4096, static_cast<u8>(i % 2 ? 8 : 4),
+                    static_cast<u8>(i % 3),
+                    i % 5 == 0 ? RefType::kWrite : RefType::kRead});
+  TraceBuffer raw = make_trace(refs);
+  EncodedTrace enc = encode_trace(raw, /*chunk_refs=*/128);
+  std::vector<CacheParams> params = sweep_params(3, 1 << 13, {4, 32, 128});
+  MultiShardPlan plan = multi_shard_plan(params, 4);
+  MultiReplayResult a = replay_multi_partitioned(
+      partition_trace_multi(raw, plan.region_bytes, plan.shards), params);
+  MultiReplayResult b = replay_multi_partitioned(
+      partition_trace_multi(enc, plan.region_bytes, plan.shards), params);
+  EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(MultiShardReplay, ThreadCountNeverChangesResults) {
+  std::vector<MemRef> refs;
+  for (int i = 0; i < 5000; ++i)
+    refs.push_back({(i * 36) % 8192, 4, static_cast<u8>(i % 8),
+                    i % 4 == 0 ? RefType::kWrite : RefType::kRead});
+  TraceBuffer raw = make_trace(refs);
+  std::vector<CacheParams> params =
+      sweep_params(8, 1 << 13, {4, 8, 16, 32, 64, 128, 256});
+  MultiShardPlan plan = multi_shard_plan(params, 8);
+  MultiTracePartition part =
+      partition_trace_multi(raw, plan.region_bytes, plan.shards);
+  MultiReplayResult one = replay_multi_partitioned(part, params, nullptr, 1);
+  for (int threads : {2, 3, 8}) {
+    MultiReplayResult many =
+        replay_multi_partitioned(part, params, nullptr, threads);
+    EXPECT_EQ(one.stats, many.stats) << "threads=" << threads;
+  }
+}
+
+TEST(MultiShardReplay, StudyRoutesShardedSweepsThroughComposedEngine) {
+  // replay_trace_study with an explicit shard request must produce the
+  // single-pass result exactly (it now partitions once and composes).
+  const workloads::Workload& w = workloads::get("fmm");
+  CompileOptions o;
+  o.overrides = w.sim_overrides;
+  o.overrides["NPROCS"] = 4;
+  Compiled c = compile_source(w.natural, o);
+  EncodedTrace trace = record_encoded_trace(c);
+  AddressMap am = build_address_map(c);
+  const std::vector<i64> blocks = {4, 16, 64, 256};
+  TraceStudyResult serial =
+      replay_trace_study(trace, c, blocks, 32 * 1024, &am, 1, 1);
+  for (int k : {2, 4}) {
+    TraceStudyResult sharded =
+        replay_trace_study(trace, c, blocks, 32 * 1024, &am, 2, k);
+    for (i64 b : blocks) {
+      EXPECT_EQ(serial.by_block.at(b), sharded.by_block.at(b))
+          << "block=" << b << " shards=" << k;
+      EXPECT_EQ(serial.by_datum.at(b), sharded.by_datum.at(b))
+          << "block=" << b << " shards=" << k;
+    }
+  }
+}
+
+// --- the workload-matrix differential --------------------------------
+//
+// Every cell of the paper's experiment matrix (ten workloads x {N,C}
+// plus the programmer-optimized versions): the composed sharded ×
+// multi-plane replay must equal the serial single-pass replay AND the
+// per-configuration sharded path, at every block size and shard count,
+// on aggregate stats and per-datum attribution.
+
+TEST(MultiShardReplayMatrix, BitIdenticalAcrossAllCellsAndShardCounts) {
+  std::vector<CompileJob> jobs = workload_matrix_jobs();
+  ASSERT_EQ(jobs.size(), 29u);  // 10 N + 10 C + 9 P
+  std::vector<CompiledVariant> cells = compile_matrix(jobs);
+  ASSERT_EQ(cells.size(), jobs.size());
+
+  const std::vector<i64> blocks = {4, 16, 64, 256};
+  for (const CompiledVariant& cell : cells) {
+    const Compiled& c = cell.compiled;
+    AddressMap am = build_address_map(c);
+    EncodedTrace trace = record_encoded_trace(c);
+    ASSERT_GT(trace.size(), 0u) << cell.label;
+
+    std::vector<CacheParams> params =
+        sweep_params(c.nprocs(), c.code.total_bytes, blocks);
+    MultiReplayResult serial = replay_multi(trace, params, &am);
+
+    for (int k : {2, 8}) {
+      MultiShardPlan plan = multi_shard_plan(params, k);
+      MultiTracePartition part =
+          partition_trace_multi(trace, plan.region_bytes, plan.shards);
+      MultiReplayResult composed =
+          replay_multi_partitioned(part, params, &am);
+      for (size_t p = 0; p < params.size(); ++p) {
+        EXPECT_EQ(serial.stats[p], composed.stats[p])
+            << cell.label << " block=" << params[p].block_size
+            << " shards=" << plan.shards;
+        EXPECT_EQ(serial.by_datum[p], composed.by_datum[p])
+            << cell.label << " block=" << params[p].block_size
+            << " shards=" << plan.shards;
+      }
+    }
+    // Cross-check one cell leg against the per-configuration sharded
+    // engine, closing the triangle serial = composed = per-config.
+    for (size_t p = 0; p < params.size(); ++p) {
+      int eff = effective_shard_count(4, params[p]);
+      ShardedReplayResult per_config = replay_partitioned(
+          partition_trace(trace, params[p].block_size, eff), params[p], &am);
+      EXPECT_EQ(serial.stats[p], per_config.stats)
+          << cell.label << " block=" << params[p].block_size;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsopt

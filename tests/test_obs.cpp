@@ -190,15 +190,18 @@ TEST_F(ObsTest, EndToEndRunEmitsPassRecordAndReplaySpans) {
   EXPECT_NE(find_span(data, "codegen"), nullptr);
   EXPECT_NE(find_span(data, "record_trace"), nullptr);
   EXPECT_NE(find_span(data, "partition"), nullptr);
-  const obs::SpanEvent* shard = find_span(data, "shard");
+  // Sharded sweeps run the composed sharded × multi-plane engine: one
+  // span per shard with throughput, one span per plane with the
+  // miss-class counters.
+  const obs::SpanEvent* shard = find_span(data, "multi_shard");
   ASSERT_NE(shard, nullptr);
-  // Shard spans carry throughput and the miss-class counters.
-  bool has_refs = false, has_fs = false;
-  for (const obs::Arg& a : shard->args) {
-    has_refs |= a.key == "refs";
-    has_fs |= a.key == "false_sharing";
-  }
+  bool has_refs = false;
+  for (const obs::Arg& a : shard->args) has_refs |= a.key == "refs";
   EXPECT_TRUE(has_refs);
+  const obs::SpanEvent* plane = find_span(data, "plane");
+  ASSERT_NE(plane, nullptr);
+  bool has_fs = false;
+  for (const obs::Arg& a : plane->args) has_fs |= a.key == "false_sharing";
   EXPECT_TRUE(has_fs);
 
   obs::TraceSummary summary = obs::summarize(data);
