@@ -25,6 +25,7 @@ const GlobalSym* ProgramSummary::datum_sym(const DatumKey& k) const {
 }
 
 std::string ProgramSummary::datum_name(const DatumKey& k) const {
+  if (k.sym == kBarrierSym) return kBarrierName;
   const GlobalSym* g = datum_sym(k);
   if (k.field < 0) return g->name;
   return g->name + "." +

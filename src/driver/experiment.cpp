@@ -110,6 +110,8 @@ void TraceStudyResult::merge(const TraceStudyResult& other) {
   }
   for (const auto& [block, datum] : other.by_datum)
     by_datum[block] = datum;
+  for (const auto& [block, graph] : other.conflicts)
+    conflicts[block] = graph;
 }
 
 TraceBuffer record_trace(const Compiled& c) {
@@ -331,8 +333,15 @@ TraceStudyResult replay_trace_study_impl(const Trace& trace,
                                          const std::vector<i64>& block_sizes,
                                          i64 l1_bytes,
                                          const AddressMap* attribution,
-                                         int threads, int shards) {
+                                         int threads, int shards,
+                                         bool collect_conflicts) {
   if (threads <= 0) threads = experiment_threads();
+  // Conflict collection pins the study to the unsharded single-pass
+  // route: each plane is then simulated exactly once by exactly one
+  // worker, so a single per-plane collector sees every false-sharing
+  // miss.  (Stats are bit-identical on every route; only the graphs
+  // need the single-pass guarantee.)
+  if (collect_conflicts) shards = 1;
   size_t nconf = block_sizes.size();
   std::vector<CacheParams> params(nconf);
   for (size_t i = 0; i < nconf; ++i)
@@ -402,12 +411,16 @@ TraceStudyResult replay_trace_study_impl(const Trace& trace,
     // plane's input sequence, so the result is bit-identical to
     // independent per-configuration replays for any thread count.
     if (nconf == 0) return out;
+    std::vector<ConflictGraph> graphs;
     MultiReplayResult multi =
-        replay_multi(trace, params, attribution, threads);
+        replay_multi(trace, params, attribution, threads,
+                     collect_conflicts ? &graphs : nullptr);
     for (size_t i = 0; i < nconf; ++i) {
       out.by_block[block_sizes[i]] = multi.stats[i];
       if (attribution != nullptr)
         out.by_datum[block_sizes[i]] = std::move(multi.by_datum[i]);
+      if (collect_conflicts)
+        out.conflicts[block_sizes[i]] = std::move(graphs[i]);
     }
     return out;
   }
@@ -455,9 +468,11 @@ TraceStudyResult replay_trace_study(const TraceBuffer& trace,
                                     const std::vector<i64>& block_sizes,
                                     i64 l1_bytes,
                                     const AddressMap* attribution,
-                                    int threads, int shards) {
+                                    int threads, int shards,
+                                    bool collect_conflicts) {
   return replay_trace_study_impl(trace, c, block_sizes, l1_bytes,
-                                 attribution, threads, shards);
+                                 attribution, threads, shards,
+                                 collect_conflicts);
 }
 
 TraceStudyResult replay_trace_study(const EncodedTrace& trace,
@@ -465,19 +480,22 @@ TraceStudyResult replay_trace_study(const EncodedTrace& trace,
                                     const std::vector<i64>& block_sizes,
                                     i64 l1_bytes,
                                     const AddressMap* attribution,
-                                    int threads, int shards) {
+                                    int threads, int shards,
+                                    bool collect_conflicts) {
   return replay_trace_study_impl(trace, c, block_sizes, l1_bytes,
-                                 attribution, threads, shards);
+                                 attribution, threads, shards,
+                                 collect_conflicts);
 }
 
 TraceStudyResult run_trace_study(const Compiled& c,
                                  const std::vector<i64>& block_sizes,
                                  i64 l1_bytes,
                                  const AddressMap* attribution,
-                                 int threads, int shards) {
+                                 int threads, int shards,
+                                 bool collect_conflicts) {
   EncodedTrace trace = record_encoded_trace(c);
   return replay_trace_study(trace, c, block_sizes, l1_bytes, attribution,
-                            threads, shards);
+                            threads, shards, collect_conflicts);
 }
 
 FalseSharingProfile build_fs_profile(const TraceStudyResult& study,
@@ -508,10 +526,63 @@ FalseSharingProfile build_fs_profile(const TraceStudyResult& study,
   return profile;
 }
 
+ConflictProfile build_conflict_profile(const TraceStudyResult& study,
+                                       i64 block_size, const AddressMap& map) {
+  auto it = study.conflicts.find(block_size);
+  FSOPT_CHECK(it != study.conflicts.end(),
+              "trace study carries no conflict graph for block size " +
+                  std::to_string(block_size) +
+                  " (run with collect_conflicts)");
+  struct PairKey {
+    i64 wo, vo;
+    int wp, vp;
+    bool operator<(const PairKey& o) const {
+      if (wo != o.wo) return wo < o.wo;
+      if (vo != o.vo) return vo < o.vo;
+      if (wp != o.wp) return wp < o.wp;
+      return vp < o.vp;
+    }
+  };
+  std::map<std::string, std::map<PairKey, u64>> acc;
+  for (const LineConflicts& lc : it->second.lines) {
+    for (const ConflictEdge& e : lc.edges) {
+      int wi = map.index_of(e.writer_word);
+      int vi = map.index_of(e.victim_word);
+      if (wi < 0 || wi != vi) continue;  // unmapped or cross-datum
+      const AddrRange& r = map.ranges()[static_cast<size_t>(wi)];
+      acc[r.name][{e.writer_word - r.lo, e.victim_word - r.lo, e.writer_proc,
+                   e.victim_proc}] += e.weight;
+    }
+  }
+  ConflictProfile out;
+  out.block_size = block_size;
+  for (auto& [name, pairs] : acc) {
+    ConflictProfile::Entry en;
+    en.name = name;
+    for (const auto& [k, w] : pairs) {
+      en.pairs.push_back({k.wo, k.vo, k.wp, k.vp, w});
+      en.weight += w;
+    }
+    out.total_weight += en.weight;
+    out.entries.push_back(std::move(en));
+  }
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const ConflictProfile::Entry& a,
+               const ConflictProfile::Entry& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.name < b.name;
+            });
+  return out;
+}
+
 RepairResult repair_loop(std::string_view source, const CompileOptions& base,
                          const RepairLoopOptions& opt) {
   FSOPT_CHECK(base.plan == nullptr,
               "repair_loop owns plan injection; base.plan must be unset");
+  const bool graph = opt.planner_name == "graph";
+  FSOPT_CHECK(graph || opt.planner_name == "profile",
+              "repair_loop planner must be 'profile' or 'graph', got '" +
+                  opt.planner_name + "'");
   CompileOptions copt = base;
   copt.optimize = true;
   copt.block_size = opt.block_size;
@@ -521,7 +592,13 @@ RepairResult repair_loop(std::string_view source, const CompileOptions& base,
   // which also keeps symbol ids stable, so plans stay valid across
   // iterations.
   FrontHalf front = run_front(source, copt.overrides);
-  std::vector<i64> blocks = {opt.block_size};
+  std::vector<i64> blocks = opt.sweep_blocks;
+  if (blocks.empty())
+    blocks = graph ? std::vector<i64>{32, 64, 128, 256}
+                   : std::vector<i64>{opt.block_size};
+  if (std::find(blocks.begin(), blocks.end(), opt.block_size) == blocks.end())
+    blocks.push_back(opt.block_size);
+  std::sort(blocks.begin(), blocks.end());
 
   RepairResult out;
   Compiled current = run_back(front, copt);
@@ -529,17 +606,37 @@ RepairResult repair_loop(std::string_view source, const CompileOptions& base,
 
   AddressMap am = build_address_map(current);
   TraceStudyResult study = run_trace_study(current, blocks, opt.l1_bytes,
-                                           &am, opt.threads);
+                                           &am, opt.threads, 0, graph);
   out.baseline = study.at(opt.block_size);
   out.baseline_by_datum = study.by_datum[opt.block_size];
+  for (i64 b : blocks) out.baseline_sweep[b] = study.at(b);
+  if (graph) out.conflicts = study.conflicts;
 
-  ProfilePlanner planner(opt.planner);
+  auto total_fs = [&blocks](const TraceStudyResult& s) {
+    u64 t = 0;
+    for (i64 b : blocks) t += s.at(b).false_sharing;
+    return t;
+  };
+
+  GraphPlannerOptions gopt = opt.graph;
+  gopt.profile = opt.planner;
+  ProfilePlanner profile_planner(opt.planner);
+  GraphPlanner graph_planner(gopt);
+  const Planner& planner =
+      graph ? static_cast<const Planner&>(graph_planner)
+            : static_cast<const Planner&>(profile_planner);
+
   TransformPlan prev = out.static_plan;
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
     FalseSharingProfile profile = build_fs_profile(study, opt.block_size);
-    TransformPlan next =
-        planner.plan({current.report, current.summary, copt.decision,
-                      opt.block_size, &profile, &prev});
+    ConflictProfile conflicts;
+    PlannerInputs in{current.report, current.summary, copt.decision,
+                     opt.block_size, &profile, &prev};
+    if (graph) {
+      conflicts = build_conflict_profile(study, opt.block_size, am);
+      in.conflicts = &conflicts;
+    }
+    TransformPlan next = planner.plan(in);
     PlanDiff diff = plan_diff(prev, next);
     if (diff.empty()) {
       out.converged = true;
@@ -547,19 +644,41 @@ RepairResult repair_loop(std::string_view source, const CompileOptions& base,
     }
     CompileOptions iter_opt = copt;
     iter_opt.plan = std::make_shared<TransformPlan>(next);
-    current = run_back(front, iter_opt);
+    Compiled cand = run_back(front, iter_opt);
 
     // Verify: re-trace under the new layout and re-attribute.
-    AddressMap iter_am = build_address_map(current);
-    study = run_trace_study(current, blocks, opt.l1_bytes, &iter_am,
-                            opt.threads);
+    AddressMap cand_am = build_address_map(cand);
+    TraceStudyResult cand_study = run_trace_study(
+        cand, blocks, opt.l1_bytes, &cand_am, opt.threads, 0, graph);
+
+    if (graph) {
+      // Multi-size acceptance: the candidate must strictly reduce the
+      // summed false-sharing misses across the sweep and may not regress
+      // any single swept size.  A candidate that fails is rolled back and
+      // the loop stops — the planner's best next step does not help, so
+      // iterating further cannot either (decisions only accumulate).
+      bool regressed = false;
+      for (i64 b : blocks)
+        if (cand_study.at(b).false_sharing > study.at(b).false_sharing)
+          regressed = true;
+      if (regressed || total_fs(cand_study) >= total_fs(study)) {
+        out.converged = true;
+        break;
+      }
+    }
+
+    current = std::move(cand);
+    am = std::move(cand_am);
+    study = std::move(cand_study);
     RepairIteration it;
     it.plan = next;
     it.diff = std::move(diff);
     it.stats = study.at(opt.block_size);
     it.by_datum = study.by_datum[opt.block_size];
+    for (i64 b : blocks) it.sweep[b] = study.at(b);
     out.iterations.push_back(std::move(it));
     prev = std::move(next);
+    if (graph) out.conflicts = study.conflicts;
   }
   out.final_compiled = std::move(current);
   return out;

@@ -43,6 +43,9 @@ struct TraceStudyResult {
   std::map<i64, MissStats> by_block;  // block size -> stats
   /// Per-datum attribution per block size (filled when requested).
   std::map<i64, std::map<std::string, MissStats>> by_datum;
+  /// Word-granularity false-sharing conflict graphs per block size
+  /// (filled only when the study was run with collect_conflicts).
+  std::map<i64, ConflictGraph> conflicts;
   u64 refs = 0;
   /// Stats for one simulated block size.  Throws InternalError naming the
   /// requested and the simulated block sizes when `block` was not part of
@@ -82,12 +85,19 @@ EncodedTrace record_encoded_trace(const Compiled& c);
 /// planes divided among the workers; with sharding, each configuration
 /// partitions and replays as before.  Either way the results are
 /// bit-identical to independent per-configuration replays.
+///
+/// `collect_conflicts` additionally accumulates each block size's
+/// word-granularity false-sharing conflict graph (TraceStudyResult::
+/// conflicts).  Collection routes the study through the unsharded
+/// single-pass replay (each plane simulated exactly once) and changes
+/// no statistic — stats stay bit-identical to a non-collecting study.
 TraceStudyResult replay_trace_study(const TraceBuffer& trace,
                                     const Compiled& c,
                                     const std::vector<i64>& block_sizes,
                                     i64 l1_bytes = 32 * 1024,
                                     const AddressMap* attribution = nullptr,
-                                    int threads = 0, int shards = 0);
+                                    int threads = 0, int shards = 0,
+                                    bool collect_conflicts = false);
 
 /// Same study from a compressed trace: the single-pass path decodes
 /// chunk by chunk (never materializing the raw stream), and the sharded
@@ -97,7 +107,8 @@ TraceStudyResult replay_trace_study(const EncodedTrace& trace,
                                     const std::vector<i64>& block_sizes,
                                     i64 l1_bytes = 32 * 1024,
                                     const AddressMap* attribution = nullptr,
-                                    int threads = 0, int shards = 0);
+                                    int threads = 0, int shards = 0,
+                                    bool collect_conflicts = false);
 
 /// record_encoded_trace + replay_trace_study: the interpreter executes
 /// exactly once however many block sizes are studied, the recording is
@@ -106,7 +117,8 @@ TraceStudyResult run_trace_study(const Compiled& c,
                                  const std::vector<i64>& block_sizes,
                                  i64 l1_bytes = 32 * 1024,
                                  const AddressMap* attribution = nullptr,
-                                 int threads = 0, int shards = 0);
+                                 int threads = 0, int shards = 0,
+                                 bool collect_conflicts = false);
 
 /// Result of one sharded single-configuration replay.
 struct ShardedReplayResult {
@@ -163,12 +175,36 @@ ShardedReplayResult replay_partitioned(const TracePartition& part,
 FalseSharingProfile build_fs_profile(const TraceStudyResult& study,
                                      i64 block_size);
 
+/// Distill the intra-datum edges of the study's conflict graph at
+/// `block_size` into the datum-relative ConflictProfile the graph planner
+/// consumes.  Edges whose endpoints fall in different address-map ranges
+/// are dropped (cross-datum sharing is the inter-datum transforms'
+/// territory); offsets are bytes relative to each datum's range base.
+/// Throws InternalError when the study carries no conflict graph for
+/// `block_size` (i.e. was not run with collect_conflicts).
+ConflictProfile build_conflict_profile(const TraceStudyResult& study,
+                                       i64 block_size, const AddressMap& map);
+
 struct RepairLoopOptions {
   /// Coherence-unit size the repair targets (plan + simulation).
   i64 block_size = 128;
   /// Upper bound on profile->replan->reverify rounds.
   int max_iterations = 3;
   ProfilePlannerOptions planner;
+  /// Which planner drives the loop: "profile" (the historical behavior)
+  /// or "graph" (conflict-graph-guided intra-datum repair; collects the
+  /// word-granularity graph each round and scores candidate plans across
+  /// the whole block-size sweep, rolling back a candidate that regresses
+  /// any swept size).
+  std::string planner_name = "profile";
+  /// Graph-planner knobs (its embedded profile pass is taken from
+  /// `planner` above, not from graph.profile).
+  GraphPlannerOptions graph;
+  /// Block sizes candidate plans are scored across.  Empty = just
+  /// {block_size} for the profile planner (the historical behavior) and
+  /// {32, 64, 128, 256} for the graph planner.  `block_size` is always
+  /// included.
+  std::vector<i64> sweep_blocks;
   i64 l1_bytes = 32 * 1024;
   /// Worker threads for the replays (0 = experiment_threads()).
   int threads = 0;
@@ -182,6 +218,8 @@ struct RepairIteration {
   /// Re-simulated stats under the new plan, at the repair block size.
   MissStats stats;
   std::map<std::string, MissStats> by_datum;
+  /// Stats at every swept block size (keyed by size).
+  std::map<i64, MissStats> sweep;
 };
 
 struct RepairResult {
@@ -189,6 +227,12 @@ struct RepairResult {
   TransformPlan static_plan;
   MissStats baseline;
   std::map<std::string, MissStats> baseline_by_datum;
+  /// Baseline stats at every swept block size.
+  std::map<i64, MissStats> baseline_sweep;
+  /// Word-granularity conflict graphs of the final accepted compile,
+  /// keyed by block size (graph planner only; feeds
+  /// `fsoptc --conflict-graph-out`).
+  std::map<i64, ConflictGraph> conflicts;
   std::vector<RepairIteration> iterations;
   /// True when the last planning round added nothing (fixed point
   /// reached before max_iterations ran out).

@@ -81,9 +81,10 @@ struct CodeImage {
   std::vector<FuncInfo> funcs;
   int main_func = -1;
   i64 nprocs = 1;
-  i64 globals_bytes = 0;  // bytes of laid-out shared data
-  i64 barrier_base = 0;   // runtime barrier block (lock, count, sense)
-  i64 total_bytes = 0;    // globals + runtime region
+  i64 globals_bytes = 0;   // bytes of laid-out shared data
+  i64 barrier_base = 0;    // runtime barrier block (lock, count, sense)
+  i64 barrier_stride = 4;  // byte stride between the three barrier words
+  i64 total_bytes = 0;     // globals + runtime region
 
   std::string disassemble() const;
 };

@@ -26,10 +26,15 @@ class CodeGen {
     }
     img_.main_func = prog_.main != nullptr ? prog_.main->id : -1;
     img_.globals_bytes = layout_.total_bytes();
-    // Runtime region: one block-sized area for the central barrier
-    // (lock word @0, count @4, sense @8).
+    // Runtime region for the central barrier: three words (lock, count,
+    // sense) at stride `barrier_stride` — 4 packs them into one area the
+    // historical way; an intra-pad plan decision widens the stride so
+    // each word gets its own coherence unit.  The span stays a multiple
+    // of 256 so the region covers the words at every swept block size.
     img_.barrier_base = round_up(img_.globals_bytes, 256);
-    img_.total_bytes = img_.barrier_base + 256;
+    img_.barrier_stride = layout_.barrier_stride();
+    i64 bar_span = round_up(2 * img_.barrier_stride + 4, 256);
+    img_.total_bytes = img_.barrier_base + bar_span;
     return std::move(img_);
   }
 

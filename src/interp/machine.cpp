@@ -8,10 +8,11 @@ namespace fsopt {
 
 namespace {
 
-// Barrier word offsets within the runtime region.
+// Barrier word indices within the runtime region; each word sits at
+// barrier_base + index * barrier_stride (stride 4 = the packed layout).
 constexpr i64 kBarLock = 0;
-constexpr i64 kBarCount = 4;
-constexpr i64 kBarSense = 8;
+constexpr i64 kBarCount = 1;
+constexpr i64 kBarSense = 2;
 
 double as_real(i64 bits) { return std::bit_cast<double>(bits); }
 i64 as_bits(double v) { return std::bit_cast<i64>(v); }
@@ -107,7 +108,7 @@ void Machine::exec_sync(Proc& p, const Instr& in) {
           p.bar_sense ^= 1;
           p.wait = Wait::kBarrier;
         }
-        i64 lock_addr = img_.barrier_base + kBarLock;
+        i64 lock_addr = img_.barrier_base + kBarLock * img_.barrier_stride;
         p.time += ref(p, lock_addr, 4, false);
         if (load_scalar(lock_addr, 4) == 0) {
           store_scalar(lock_addr, 4, 1);
@@ -120,15 +121,15 @@ void Machine::exec_sync(Proc& p, const Instr& in) {
         return;
       }
       case 1: {  // lock held: bump the count, maybe release everyone
-        i64 count_addr = img_.barrier_base + kBarCount;
-        i64 lock_addr = img_.barrier_base + kBarLock;
+        i64 count_addr = img_.barrier_base + kBarCount * img_.barrier_stride;
+        i64 lock_addr = img_.barrier_base + kBarLock * img_.barrier_stride;
         p.time += ref(p, count_addr, 4, false);
         i64 c = load_scalar(count_addr, 4) + 1;
         bool last = c == img_.nprocs;
         store_scalar(count_addr, 4, last ? 0 : c);
         p.time += ref(p, count_addr, 4, true);
         if (last) {
-          i64 sense_addr = img_.barrier_base + kBarSense;
+          i64 sense_addr = img_.barrier_base + kBarSense * img_.barrier_stride;
           store_scalar(sense_addr, 4, p.bar_sense);
           p.time += ref(p, sense_addr, 4, true);
         }
@@ -144,7 +145,7 @@ void Machine::exec_sync(Proc& p, const Instr& in) {
         return;
       }
       case 2: {  // spin on the sense word
-        i64 sense_addr = img_.barrier_base + kBarSense;
+        i64 sense_addr = img_.barrier_base + kBarSense * img_.barrier_stride;
         p.time += ref(p, sense_addr, 4, false);
         if (load_scalar(sense_addr, 4) == p.bar_sense) {
           p.bar_stage = 0;

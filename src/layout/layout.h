@@ -72,6 +72,13 @@ class LayoutPlan {
   i64 total_bytes() const { return total_bytes_; }
   void set_total_bytes(i64 n) { total_bytes_ = n; }
 
+  /// Byte stride between the interpreter's central barrier words (lock,
+  /// count, sense — interp/machine.h).  4 = packed, the historical
+  /// layout; a kIntraPad decision on {kBarrierSym, -1} raises it so the
+  /// three words land in separate coherence units.
+  i64 barrier_stride() const { return barrier_stride_; }
+  void set_barrier_stride(i64 s) { barrier_stride_ = s; }
+
   void set(int sym, int field, DatumLayout l) {
     map_[{sym, field}] = std::move(l);
   }
@@ -90,6 +97,7 @@ class LayoutPlan {
  private:
   std::map<std::pair<int, int>, DatumLayout> map_;
   i64 total_bytes_ = 0;
+  i64 barrier_stride_ = 4;
 };
 
 /// Row-major strides (in bytes) for the given extents and element size.

@@ -1,5 +1,7 @@
 #include "sim/attribution.h"
 
+#include "support/json.h"
+
 namespace fsopt {
 
 void AddressMap::add(i64 lo, i64 hi, std::string name) {
@@ -40,6 +42,73 @@ void AddressMap::rebuild_index() {
     }
     owner_[k] = best;
   }
+}
+
+ConflictGraph ConflictCollector::graph(i64 block_size) const {
+  FSOPT_CHECK(block_size > 0 && (block_size & (block_size - 1)) == 0,
+              "conflict graph block size must be a power of two");
+  ConflictGraph g;
+  g.block_size = block_size;
+  // edges_ iterates in key order (writer word major), so a map keyed by
+  // line keeps both the line list and each line's edge list sorted.
+  std::map<i64, std::vector<ConflictEdge>> lines;
+  for (const auto& [k, w] : edges_) {
+    // Both endpoints of a false-sharing conflict lie in the same block;
+    // bucket by the victim word (the missing side).
+    i64 line = k.victim_word / block_size;
+    lines[line].push_back(
+        {k.writer_word, k.victim_word, k.writer_proc, k.victim_proc, w});
+  }
+  g.lines.reserve(lines.size());
+  for (auto& [line, edges] : lines) g.lines.push_back({line, std::move(edges)});
+  return g;
+}
+
+namespace {
+
+void write_endpoint(json::Writer& w, const char* prefix, i64 word, int proc,
+                    const AddressMap* map) {
+  w.key(std::string(prefix) + "_word").value(word);
+  w.key(std::string(prefix) + "_proc").value(proc);
+  if (map != nullptr) {
+    int idx = map->index_of(word);
+    if (idx >= 0) {
+      const AddrRange& r = map->ranges()[static_cast<size_t>(idx)];
+      w.key(std::string(prefix) + "_datum").value(r.name);
+      w.key(std::string(prefix) + "_offset").value(word - r.lo);
+    }
+  }
+}
+
+}  // namespace
+
+std::string conflict_graph_to_json(const ConflictGraph& graph,
+                                   const AddressMap* map) {
+  std::string out;
+  json::Writer w(&out, 2);
+  w.begin_object();
+  w.key("block_size").value(graph.block_size);
+  w.key("total_weight").value(graph.total_weight());
+  w.key("lines").begin_array();
+  for (const LineConflicts& l : graph.lines) {
+    w.begin_object();
+    w.key("line").value(l.line);
+    w.key("base").value(l.line * graph.block_size);
+    w.key("weight").value(l.weight());
+    w.key("edges").begin_array();
+    for (const ConflictEdge& e : l.edges) {
+      w.begin_object();
+      write_endpoint(w, "writer", e.writer_word, e.writer_proc, map);
+      write_endpoint(w, "victim", e.victim_word, e.victim_proc, map);
+      w.key("weight").value(e.weight);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out;
 }
 
 }  // namespace fsopt

@@ -96,6 +96,13 @@ class CoherentCache {
 
   const CacheParams& params() const { return params_; }
 
+  /// Attach (or detach with nullptr) a word-granularity conflict
+  /// collector: every miss classified as false sharing additionally
+  /// records its (writer-word, victim-word) edges.  Collection never
+  /// changes any outcome or counter — with no collector the access path
+  /// is untouched.
+  void set_conflict_collector(ConflictCollector* c) { collector_ = c; }
+
   /// Cache sets per processor under `p` — the LRU conflict domains, and
   /// therefore the upper bound on (and divisor constraint for) shards.
   static i64 set_count(const CacheParams& p);
@@ -151,9 +158,21 @@ class CoherentCache {
   i64 set_mask_;      // sets_ - 1 when a power of two, else -1
   i64 blocks_total_;  // blocks in the whole address space
   i64 total_span_;    // blocks_total_ * block_size (bounds check)
+  /// Record the conflict edges behind a false-sharing classification:
+  /// one edge per foreign-newer word, from that word (and its writer) to
+  /// the first word the victim referenced.
+  void note_conflicts(int proc, i64 lb, i64 base, i64 w0, i64 w1) {
+    classifier_.collect_conflicts_at(proc, lb, w0, w1,
+                                     [&](i64 w, int writer) {
+                                       collector_->record(base + w * 4, writer,
+                                                          base + w0 * 4, proc);
+                                     });
+  }
+
   std::vector<Line> lines_;    // [(set * nprocs + proc) * assoc + way]
   std::vector<DirEntry> dir_;  // [local_block]
   MissClassifier classifier_;
+  ConflictCollector* collector_ = nullptr;
   u64 tick_ = 0;
 };
 
@@ -246,6 +265,8 @@ inline AccessOutcome CoherentCache::access_block(int proc, i64 addr,
       return {kind, false, -1, 0};
     }
     MissKind kind = classifier_.classify_miss_at(proc, lb, w0, w1);
+    if (kind == MissKind::kFalseSharing && collector_ != nullptr)
+      note_conflicts(proc, lb, base, w0, w1);
     Line& line = victim_line(proc, lb);
     if (line.block >= 0 && line.state != LineState::kInvalid)
       drop_from_dir(line.block, proc);
@@ -278,6 +299,8 @@ inline AccessOutcome CoherentCache::access_block(int proc, i64 addr,
 
   // Miss.
   MissKind kind = classifier_.classify_miss_at(proc, lb, w0, w1);
+  if (kind == MissKind::kFalseSharing && collector_ != nullptr)
+    note_conflicts(proc, lb, base, w0, w1);
 
   Line& line = victim_line(proc, lb);
   if (line.block >= 0 && line.state != LineState::kInvalid)
@@ -443,6 +466,11 @@ class CacheSim : public TraceSink {
   }
   const MissStats& stats() const { return stats_; }
   const CacheParams& params() const { return cache_.params(); }
+  /// Forward a conflict collector to the underlying cache (see
+  /// CoherentCache::set_conflict_collector).
+  void set_conflict_collector(ConflictCollector* c) {
+    cache_.set_conflict_collector(c);
+  }
   /// Per-datum stats, string-keyed (empty unless an AddressMap was
   /// supplied).  Built from the dense counters on each call.
   std::map<std::string, MissStats> by_datum() const;

@@ -142,6 +142,28 @@ class MissClassifier {
     }
   }
 
+  /// Enumerate the foreign-newer words that made a miss false sharing:
+  /// for a miss by `proc` on words [w0, w1] of `local_block` already
+  /// classified kFalseSharing, calls fn(word_offset, writer_proc) for
+  /// every word outside [w0, w1] written by another processor since
+  /// `proc`'s snapshot.  Only called on false-sharing misses, so the scan
+  /// cost is bounded by fs_misses * words_per_block.
+  template <typename Fn>
+  void collect_conflicts_at(int proc, i64 local_block, i64 w0, i64 w1,
+                            Fn&& fn) const {
+    u64 s = snapshot_[static_cast<size_t>(local_block * nprocs_ + proc)];
+    const u64* ws =
+        word_state_.data() + static_cast<size_t>(local_block * words_per_block_);
+    u64 newer = (s + 1) << kWriterBits;
+    u64 p = static_cast<u64>(proc);
+    for (i64 w = 0; w < words_per_block_; ++w) {
+      if (w >= w0 && w <= w1) continue;
+      u64 v = ws[w];
+      if (v >= newer && (v & kWriterMask) != p)
+        fn(w, static_cast<int>(v & kWriterMask));
+    }
+  }
+
   bool words_valid_at(int proc, i64 local_block, i64 w0, i64 w1) const {
     size_t wbase = static_cast<size_t>(local_block * words_per_block_);
     const u64* seen = word_seen_.data() +

@@ -113,6 +113,10 @@ struct MultiCacheSim::SharedPlanes {
   /// Process one batch and fold the tallies into the stats rows.
   virtual void run_batch(const MemRef* refs, size_t n,
                          const AddressMap* amap) = 0;
+  /// Attach per-plane conflict collectors, indexed by the owning
+  /// MultiCacheSim's plane order (nullptr entries skip a plane).
+  virtual void set_collectors(
+      const std::vector<ConflictCollector*>& colls) = 0;
 };
 
 namespace {
@@ -126,6 +130,7 @@ struct Engine final : MultiCacheSim::SharedPlanes {
     i64 sets = 0;
     i64 smask = 0;        // sets - 1
     i32* lines = nullptr; // [q * sets + set] -> cached block, -1 free
+    ConflictCollector* coll = nullptr;  // set only while collecting
   };
 
   /// Per-plane event tallies for one batch: outcome kinds indexed by
@@ -162,6 +167,17 @@ struct Engine final : MultiCacheSim::SharedPlanes {
   // Result rows inside the owning MultiCacheSim, in engine-plane order.
   std::vector<MissStats*> stats_row_;
   std::vector<MissStats*> datum_row_;  // nullptr without attribution
+  // Owning MultiCacheSim's plane index per engine plane, so collectors
+  // handed over in owner order land on the right Geom.
+  std::vector<size_t> plane_index_;
+
+  void set_collectors(const std::vector<ConflictCollector*>& colls) override {
+    for (int p = 0; p < P; ++p) {
+      const size_t gi = plane_index_[static_cast<size_t>(p)];
+      geom_[static_cast<size_t>(p)].coll =
+          gi < colls.size() ? colls[gi] : nullptr;
+    }
+  }
 
   // Kernel set snapshotted at construction (simd.h runtime dispatch):
   // the per-miss extent scans call through it, and use_avx2_ selects
@@ -806,6 +822,20 @@ MissKind Engine<MaskT>::miss_part(const Geom& g, int proc, MaskT bit,
       }
     }
     kind = any_remote ? MissKind::kFalseSharing : MissKind::kReplacement;
+    if (kind == MissKind::kFalseSharing && g.coll != nullptr) {
+      // The granule aggregates may have settled any_remote without ever
+      // scanning the word array, so the collector enumerates the foreign-
+      // newer witnesses itself from the live word versions.  Runs only on
+      // false-sharing misses of a collected plane.
+      for (i64 w = 0; w < g.bw; ++w) {
+        const i64 aw = wb0 + w;
+        if (aw >= cur_w0_ && aw <= cur_w1_) continue;
+        const u64 v = ws[w];
+        if (v >= newer && (v & kWMask) != me)
+          g.coll->record(aw * 4, static_cast<int>(v & kWMask), cur_w0_ * 4,
+                         proc);
+      }
+    }
   }
 
   // Evict the direct-mapped way of this set.  line == block happens when
@@ -884,6 +914,7 @@ std::unique_ptr<MultiCacheSim::SharedPlanes> build_engine(
     e.stats_row_[p] = &stats[planes[p]];
     e.datum_row_[p] = attributed ? datum_stats[planes[p]].data() : nullptr;
   }
+  e.plane_index_ = planes;
   // Two trailing padding elements keep the AVX2 path's 4-byte gather of
   // the last u16 directory word in bounds.
   e.sharers_.assign(blocks_total + 2, 0);
@@ -909,7 +940,9 @@ std::unique_ptr<MultiCacheSim::SharedPlanes> build_engine(
   // indices, and at most four 8-lane groups.
   e.use_avx2_ = simd::batch_vector_enabled() &&
                 std::is_same_v<MaskT, std::uint16_t> &&
-                e.kern_.level == simd::Level::kAVX2 && e.P8 <= 32 &&
+                (e.kern_.level == simd::Level::kAVX2 ||
+                 e.kern_.level == simd::Level::kAVX512) &&
+                e.P8 <= 32 &&
                 e.total_span <= std::numeric_limits<i32>::max() &&
                 blocks_total <= static_cast<size_t>(
                                     std::numeric_limits<i32>::max());
@@ -1013,6 +1046,15 @@ std::map<std::string, MissStats> MultiCacheSim::by_datum(
   return materialize_by_datum(*attribution_, datum_stats_[plane]);
 }
 
+void MultiCacheSim::set_conflict_collectors(
+    const std::vector<ConflictCollector*>& colls) {
+  FSOPT_CHECK(colls.size() == stats_.size(),
+              "one collector slot per plane (nullptr to skip a plane)");
+  if (shared_ != nullptr) shared_->set_collectors(colls);
+  for (auto& [idx, cache] : fallback_)
+    cache.set_conflict_collector(colls[idx]);
+}
+
 namespace {
 
 /// Shared by both replay_multi overloads: fan the planes out over up to
@@ -1024,7 +1066,8 @@ template <typename ReplayFn>
 MultiReplayResult replay_multi_impl(u64 trace_refs, ReplayFn&& replay,
                                     const std::vector<CacheParams>& params,
                                     const AddressMap* attribution,
-                                    int threads) {
+                                    int threads,
+                                    std::vector<ConflictGraph>* conflicts) {
   if (threads == 0) threads = default_thread_count();
   const size_t nplanes = params.size();
   FSOPT_CHECK(nplanes > 0, "multi-replay needs at least one plane");
@@ -1034,6 +1077,7 @@ MultiReplayResult replay_multi_impl(u64 trace_refs, ReplayFn&& replay,
   MultiReplayResult out;
   out.stats.resize(nplanes);
   out.by_datum.resize(nplanes);
+  if (conflicts != nullptr) conflicts->assign(nplanes, ConflictGraph{});
   std::vector<std::pair<size_t, size_t>> range(groups);  // [first, last)
   for (size_t g = 0; g < groups; ++g) {
     range[g].first = g * nplanes / groups;
@@ -1047,10 +1091,21 @@ MultiReplayResult replay_multi_impl(u64 trace_refs, ReplayFn&& replay,
                                  params.begin() +
                                      static_cast<std::ptrdiff_t>(last));
     MultiCacheSim sim(sub, attribution);
+    // Each plane belongs to exactly one group, so per-group collectors
+    // are single-writer and the conflicts slots below are disjoint.
+    std::vector<ConflictCollector> colls;
+    if (conflicts != nullptr) {
+      colls.resize(last - first);
+      std::vector<ConflictCollector*> ptrs(last - first);
+      for (size_t p = 0; p < ptrs.size(); ++p) ptrs[p] = &colls[p];
+      sim.set_conflict_collectors(ptrs);
+    }
     replay(sim);
     for (size_t p = first; p < last; ++p) {
       out.stats[p] = sim.stats(p - first);
       if (attribution != nullptr) out.by_datum[p] = sim.by_datum(p - first);
+      if (conflicts != nullptr)
+        (*conflicts)[p] = colls[p - first].graph(params[p].block_size);
     }
     if (span.active()) {
       span.arg("planes", static_cast<double>(last - first));
@@ -1083,22 +1138,24 @@ MultiReplayResult replay_multi_impl(u64 trace_refs, ReplayFn&& replay,
 
 MultiReplayResult replay_multi(const EncodedTrace& trace,
                                const std::vector<CacheParams>& params,
-                               const AddressMap* attribution, int threads) {
+                               const AddressMap* attribution, int threads,
+                               std::vector<ConflictGraph>* conflicts) {
   // Encoded input goes through the pipelined replay: on a multi-core
   // host the varint decode of the next chunk overlaps the simulation
   // of the current one (and on a single core it degrades to the serial
   // replay, same stream either way).
   return replay_multi_impl(
       trace.size(), [&](TraceSink& sink) { trace.replay_pipelined(sink); },
-      params, attribution, threads);
+      params, attribution, threads, conflicts);
 }
 
 MultiReplayResult replay_multi(const TraceBuffer& trace,
                                const std::vector<CacheParams>& params,
-                               const AddressMap* attribution, int threads) {
+                               const AddressMap* attribution, int threads,
+                               std::vector<ConflictGraph>* conflicts) {
   return replay_multi_impl(
       trace.size(), [&](TraceSink& sink) { trace.replay(sink); }, params,
-      attribution, threads);
+      attribution, threads, conflicts);
 }
 
 MultiShardPlan multi_shard_plan(const std::vector<CacheParams>& params,

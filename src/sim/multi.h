@@ -105,6 +105,13 @@ class MultiCacheSim : public TraceSink {
   /// String-keyed per-datum map of one plane, materialized on call.
   std::map<std::string, MissStats> by_datum(size_t plane) const;
 
+  /// Attach per-plane conflict collectors (planes() entries, nullptr to
+  /// leave a plane uncollected): every false-sharing miss on a collected
+  /// plane also records its word-granularity conflict edges.  Never
+  /// changes outcomes or counters; no collectors (the default) leaves
+  /// the replay paths untouched.
+  void set_conflict_collectors(const std::vector<ConflictCollector*>& colls);
+
   /// Interface of the shared bitmask engine (implemented, and selected
   /// by machine width, in sim/multi.cpp).
   struct SharedPlanes;
@@ -124,16 +131,24 @@ class MultiCacheSim : public TraceSink {
 /// stream once for its plane subset — results are bit-identical for any
 /// thread count because planes never interact.  0 = default_thread_count()
 /// (the FSOPT_THREADS env var, else hardware concurrency).
+///
+/// With a non-null `conflicts`, each plane additionally accumulates its
+/// word-granularity false-sharing conflict graph; on return *conflicts
+/// holds one ConflictGraph per plane (in params order, bucketed at that
+/// plane's block size).  Safe under plane-parallel threading: each plane
+/// is simulated by exactly one worker, with its own collector.
 MultiReplayResult replay_multi(const EncodedTrace& trace,
                                const std::vector<CacheParams>& params,
                                const AddressMap* attribution = nullptr,
-                               int threads = 1);
+                               int threads = 1,
+                               std::vector<ConflictGraph>* conflicts = nullptr);
 
 /// Same, from a raw recorded trace (no decode on the walk).
 MultiReplayResult replay_multi(const TraceBuffer& trace,
                                const std::vector<CacheParams>& params,
                                const AddressMap* attribution = nullptr,
-                               int threads = 1);
+                               int threads = 1,
+                               std::vector<ConflictGraph>* conflicts = nullptr);
 
 // ---------------------------------------------------------------------------
 // Composed sharded × multi-configuration replay.

@@ -20,14 +20,18 @@ const char* level_name(Level level) {
     case Level::kScalar: return "scalar";
     case Level::kAVX2: return "avx2";
     case Level::kNEON: return "neon";
+    case Level::kAVX512: return "avx512";
   }
   return "scalar";
 }
 
 Level detected_level() {
 #if defined(FSOPT_SIMD_X86) && defined(__GNUC__)
-  static const Level cached =
-      __builtin_cpu_supports("avx2") ? Level::kAVX2 : Level::kScalar;
+  static const Level cached = __builtin_cpu_supports("avx512f")
+                                  ? Level::kAVX512
+                              : __builtin_cpu_supports("avx2")
+                                  ? Level::kAVX2
+                                  : Level::kScalar;
   return cached;
 #elif defined(FSOPT_SIMD_NEON)
   return Level::kNEON;
@@ -57,6 +61,15 @@ bool env_batch_vector() {
   return env != nullptr && env[0] == '2' && env[1] == '\0';
 }
 
+// Level cap: FSOPT_SIMD=avx2 pins x86 dispatch to the AVX2 kernels on
+// AVX-512 hosts.  Parsed per call for the same reason as the batch
+// opt-in above.
+bool env_cap_avx2() {
+  const char* env = std::getenv("FSOPT_SIMD");
+  return env != nullptr && env[0] == 'a' && env[1] == 'v' && env[2] == 'x' &&
+         env[3] == '2' && env[4] == '\0';
+}
+
 }  // namespace
 
 void set_force_scalar(int force) { g_force_scalar.store(force); }
@@ -67,7 +80,10 @@ bool force_scalar() {
 }
 
 Level active_level() {
-  return force_scalar() ? Level::kScalar : detected_level();
+  if (force_scalar()) return Level::kScalar;
+  Level l = detected_level();
+  if (l == Level::kAVX512 && env_cap_avx2()) return Level::kAVX2;
+  return l;
 }
 
 void set_batch_vector(int enable) { g_batch_vector.store(enable); }
@@ -154,6 +170,42 @@ __attribute__((target("avx2"))) bool any_version_newer_avx2(const u64* p,
   return any;
 }
 
+__attribute__((target("avx512f"))) u32 max_u32_avx512(const u32* p,
+                                                      size_t n) {
+  size_t i = 0;
+  __m512i acc = _mm512_setzero_si512();
+  for (; i + 16 <= n; i += 16)
+    acc = _mm512_max_epu32(acc, _mm512_loadu_si512(p + i));
+  u32 out = _mm512_reduce_max_epu32(acc);
+  for (; i < n; ++i) out = p[i] > out ? p[i] : out;
+  return out;
+}
+
+__attribute__((target("avx512f"))) bool any_version_newer_avx512(
+    const u64* p, size_t n, u64 bound, u64 self, u64 wmask) {
+  // Unlike the AVX2 kernel, no bias flip: AVX-512 compares unsigned
+  // 64-bit lanes natively, so bound == 0 needs no special case either.
+  const __m512i bound_v = _mm512_set1_epi64(static_cast<long long>(bound));
+  const __m512i self_v = _mm512_set1_epi64(static_cast<long long>(self));
+  const __m512i mask_v = _mm512_set1_epi64(static_cast<long long>(wmask));
+  size_t i = 0;
+  __mmask8 acc = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(p + i);
+    const __mmask8 newer =
+        _mm512_cmp_epu64_mask(v, bound_v, _MM_CMPINT_NLT);  // v >= bound
+    const __mmask8 foreign = _mm512_cmp_epu64_mask(
+        _mm512_and_si512(v, mask_v), self_v, _MM_CMPINT_NE);
+    acc |= newer & foreign;
+  }
+  bool any = acc != 0;
+  for (; i < n && !any; ++i) {
+    const u64 v = p[i];
+    any = v >= bound && (v & wmask) != self;
+  }
+  return any;
+}
+
 #endif  // FSOPT_SIMD_X86
 
 #if defined(FSOPT_SIMD_NEON)
@@ -204,9 +256,18 @@ constexpr Kernels kScalarKernels{Level::kScalar, &max_u32_scalar_fn,
 
 const Kernels& kernels(Level level) {
 #if defined(FSOPT_SIMD_X86) && defined(__GNUC__)
+  static const Kernels avx512{Level::kAVX512, &max_u32_avx512,
+                              &any_version_newer_avx512};
   static const Kernels avx2{Level::kAVX2, &max_u32_avx2,
                             &any_version_newer_avx2};
-  if (level == Level::kAVX2 && detected_level() == Level::kAVX2) return avx2;
+  const Level host = detected_level();
+  if (level == Level::kAVX512 && host == Level::kAVX512) return avx512;
+  // An AVX2 request is honored on any host with at least AVX2 (the
+  // FSOPT_SIMD=avx2 cap lands here on AVX-512 machines); an AVX-512
+  // request on an AVX2-only host degrades to the AVX2 table.
+  if ((level == Level::kAVX2 || level == Level::kAVX512) &&
+      (host == Level::kAVX2 || host == Level::kAVX512))
+    return avx2;
 #endif
 #if defined(FSOPT_SIMD_NEON)
   static const Kernels neon{Level::kNEON, &max_u32_neon,

@@ -6,15 +6,18 @@
 //
 //   * an always-available scalar implementation of every kernel — the
 //     bit-exactness reference, and the only path on hardware without
-//     AVX2/NEON;
-//   * runtime dispatch: `detected_level()` probes the host once (AVX2
-//     via __builtin_cpu_supports on x86-64, NEON unconditionally on
-//     AArch64) and `active_kernels()` hands back a function-pointer
-//     table for the best usable level;
+//     AVX2/AVX-512/NEON;
+//   * runtime dispatch: `detected_level()` probes the host once
+//     (AVX-512F then AVX2 via __builtin_cpu_supports on x86-64, NEON
+//     unconditionally on AArch64) and `active_kernels()` hands back a
+//     function-pointer table for the best usable level;
 //   * a force-scalar override for benchmarking and differential tests:
 //     the environment variable `FSOPT_SIMD=0` (or
 //     `set_force_scalar(1)` in-process, which wins over the
-//     environment) pins every consumer to the scalar table;
+//     environment) pins every consumer to the scalar table; and a
+//     level cap, `FSOPT_SIMD=avx2`, that pins x86 dispatch to the AVX2
+//     kernels on AVX-512 hosts (tier-vs-tier measurement and
+//     differential testing);
 //   * an opt-in for the engine's gather-based vector batch loop:
 //     `FSOPT_SIMD=2` (or `set_batch_vector(1)`).  The dispatched miss
 //     kernels are profitable wherever AVX2 exists, but the batch
@@ -46,6 +49,7 @@ enum class Level {
   kScalar = 0,
   kAVX2 = 1,
   kNEON = 2,
+  kAVX512 = 3,
 };
 
 const char* level_name(Level level);

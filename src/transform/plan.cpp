@@ -21,6 +21,11 @@ struct PendingIndirection {
   i64 ptr_off = 0;  // pointer-slot offset inside the rebuilt element
 };
 
+struct PendingSplit {
+  const GlobalSym* sym;
+  const TransformDecision* decision;
+};
+
 }  // namespace
 
 LayoutPlan build_layout(const Program& prog, const TransformSet& transforms,
@@ -32,6 +37,15 @@ LayoutPlan build_layout(const Program& prog, const TransformSet& transforms,
 
   std::vector<GroupMember> group;
   std::vector<PendingIndirection> indirections;
+  std::vector<PendingSplit> splits;
+
+  // The interpreter's central barrier is not a program global; its only
+  // layout knob is the stride between its three words, carried on the
+  // plan and consumed by interp/compile.cpp when placing the barrier
+  // region.
+  if (const TransformDecision* bd = transforms.find({kBarrierSym, -1}))
+    if (bd->kind == TransformKind::kIntraPad && bd->chunk > 4)
+      plan.set_barrier_stride(bd->chunk);
 
   for (const auto& g : prog.globals) {
     const TransformDecision* sd = transforms.find({g->id, -1});
@@ -52,6 +66,96 @@ LayoutPlan build_layout(const Program& prog, const TransformSet& transforms,
       for (i64 e : m.region_extents) n *= e;
       m.chunk_bytes = n * g->elem.byte_size();
       group.push_back(m);
+      continue;
+    }
+
+    if (sd != nullptr && sd->kind == TransformKind::kIntraPad) {
+      // Stride consecutive elements apart by the decision's stride (not
+      // this compile's B): the separation then holds at every block size
+      // up to the stride, which is what the multi-size repair loop
+      // scores against.
+      i64 stride = std::max(sd->chunk, g->elem.byte_size());
+      stride = round_up(stride, g->elem.alignment());
+      cursor = round_up(cursor, std::max<i64>(sd->chunk, 1));
+      DatumLayout l;
+      l.base = cursor;
+      std::vector<i64> strides = row_major_strides(g->dims, stride);
+      for (i64 s : strides) l.dims.push_back({1, 0, s});
+      l.elem_size_override = stride;
+      plan.set(g->id, -1, std::move(l));
+      cursor += stride * g->elem_count();
+      continue;
+    }
+
+    if (sd != nullptr && sd->kind == TransformKind::kFieldReorder &&
+        g->elem.is_struct) {
+      // Re-pack the struct with fields in the decision's permutation
+      // order, natural alignment within the new order.
+      const StructType& st = *g->elem.strct;
+      FSOPT_CHECK(sd->fields.size() == st.fields.size(),
+                  "field-reorder permutation size mismatch for " + g->name);
+      std::vector<i64> offs(st.fields.size(), 0);
+      i64 off = 0;
+      i64 align = 1;
+      for (int fi : sd->fields) {
+        FSOPT_CHECK(fi >= 0 && fi < static_cast<int>(st.fields.size()),
+                    "field-reorder index out of range for " + g->name);
+        const StructField& f = st.fields[static_cast<size_t>(fi)];
+        i64 a = scalar_size(f.kind);
+        off = round_up(off, a);
+        offs[static_cast<size_t>(fi)] = off;
+        off += f.byte_size();
+        align = std::max(align, a);
+      }
+      i64 elem = round_up(std::max<i64>(off, 1), align);
+      cursor = round_up(cursor, align);
+      DatumLayout l;
+      l.base = cursor;
+      l.field_offsets = offs;
+      l.elem_size_override = elem;
+      std::vector<i64> strides = row_major_strides(g->dims, elem);
+      for (i64 s : strides) l.dims.push_back({1, 0, s});
+      plan.set(g->id, -1, std::move(l));
+      cursor += elem * g->elem_count();
+      continue;
+    }
+
+    if (sd != nullptr && sd->kind == TransformKind::kHotColdSplit &&
+        g->elem.is_struct) {
+      // Cold fields keep a compact base element here; the hot fields are
+      // hoisted into their own block-aligned regions below (field-level
+      // layouts take precedence in LayoutPlan::resolve, so the base
+      // element's slots for hot fields are simply never addressed).
+      const StructType& st = *g->elem.strct;
+      std::vector<char> hot(st.fields.size(), 0);
+      for (int fi : sd->fields) {
+        FSOPT_CHECK(fi >= 0 && fi < static_cast<int>(st.fields.size()),
+                    "hot-cold-split field index out of range for " + g->name);
+        hot[static_cast<size_t>(fi)] = 1;
+      }
+      std::vector<i64> offs(st.fields.size(), 0);
+      i64 off = 0;
+      i64 align = 1;
+      for (size_t fi = 0; fi < st.fields.size(); ++fi) {
+        if (hot[fi]) continue;
+        const StructField& f = st.fields[fi];
+        i64 a = scalar_size(f.kind);
+        off = round_up(off, a);
+        offs[fi] = off;
+        off += f.byte_size();
+        align = std::max(align, a);
+      }
+      i64 elem = round_up(std::max<i64>(off, 1), align);
+      cursor = round_up(cursor, align);
+      DatumLayout l;
+      l.base = cursor;
+      l.field_offsets = offs;
+      l.elem_size_override = elem;
+      std::vector<i64> strides = row_major_strides(g->dims, elem);
+      for (i64 s : strides) l.dims.push_back({1, 0, s});
+      plan.set(g->id, -1, std::move(l));
+      cursor += elem * g->elem_count();
+      splits.push_back({g.get(), sd});
       continue;
     }
 
@@ -166,6 +270,25 @@ LayoutPlan build_layout(const Program& prog, const TransformSet& transforms,
       plan.set(m.sym->id, -1, std::move(l));
     }
     cursor = group_base + R * P;
+  }
+
+  // --- Hot-field regions (hot/cold split) -----------------------------------
+  // One block-aligned, block-padded region per hot field: two hot fields
+  // (or a hot field and any cold data) can never share a coherence unit.
+  for (const PendingSplit& ps : splits) {
+    const GlobalSym& g = *ps.sym;
+    const StructType& st = *g.elem.strct;
+    for (int fi : ps.decision->fields) {
+      const StructField& f = st.fields[static_cast<size_t>(fi)];
+      i64 hot_base = round_up(cursor, B);
+      DatumLayout fl;
+      fl.base = hot_base;
+      std::vector<i64> rm = row_major_strides(g.dims, f.byte_size());
+      for (i64 s : rm) fl.dims.push_back({1, 0, s});
+      if (f.array_len > 0) fl.dims.push_back({1, 0, scalar_size(f.kind)});
+      plan.set(g.id, fi, std::move(fl));
+      cursor = hot_base + round_up(g.elem_count() * f.byte_size(), B);
+    }
   }
 
   // --- Indirection heaps ----------------------------------------------------

@@ -15,6 +15,9 @@ const char* transform_name(TransformKind k) {
     case TransformKind::kIndirection: return "indirection";
     case TransformKind::kPadAlign: return "pad&align";
     case TransformKind::kLockPad: return "lock-pad";
+    case TransformKind::kFieldReorder: return "field-reorder";
+    case TransformKind::kHotColdSplit: return "hot-cold-split";
+    case TransformKind::kIntraPad: return "intra-pad";
   }
   return "?";
 }
@@ -27,6 +30,7 @@ const char* reason_code_name(ReasonCode c) {
     case ReasonCode::kSharedNonLocal: return "shared-non-local";
     case ReasonCode::kStructConsensus: return "struct-consensus";
     case ReasonCode::kProfileFalseSharing: return "profile-false-sharing";
+    case ReasonCode::kConflictGraph: return "conflict-graph";
   }
   return "?";
 }
@@ -50,6 +54,15 @@ std::string DecisionReason::render() const {
       std::snprintf(buf, sizeof(buf),
                     "profile: %llu false-sharing misses (%.1f%% of "
                     "attributed)",
+                    static_cast<unsigned long long>(fs_misses),
+                    100.0 * fs_share);
+      return buf;
+    }
+    case ReasonCode::kConflictGraph: {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "conflict graph: %llu intra-datum conflict misses "
+                    "(%.1f%% of graph weight)",
                     static_cast<unsigned long long>(fs_misses),
                     100.0 * fs_share);
       return buf;
@@ -87,6 +100,13 @@ std::string decision_line(const TransformDecision& d,
        << (d.shape == PartitionShape::kBlocked ? "blocked" : "interleaved");
     if (d.shape == PartitionShape::kBlocked) os << " C=" << d.chunk;
     os << ")";
+  } else if (d.kind == TransformKind::kIntraPad) {
+    os << " (stride " << d.chunk << ")";
+  } else if (d.kind == TransformKind::kFieldReorder ||
+             d.kind == TransformKind::kHotColdSplit) {
+    os << " (fields";
+    for (int f : d.fields) os << " " << f;
+    os << ")";
   }
   std::string reason = d.reason.render();
   if (!reason.empty()) os << "  -- " << reason;
@@ -110,6 +130,7 @@ namespace {
 /// "g" for symbol-level decisions, "g.f" for field-level ones — the same
 /// names ProgramSummary::datum_name and the address map use.
 std::string datum_spelling(const DatumKey& k, const Program& prog) {
+  if (k.sym == kBarrierSym && k.field < 0) return kBarrierName;
   FSOPT_CHECK(k.sym >= 0 && static_cast<size_t>(k.sym) < prog.globals.size(),
               "plan decision names an unknown symbol id");
   const GlobalSym& g = *prog.globals[static_cast<size_t>(k.sym)];
@@ -122,6 +143,7 @@ std::string datum_spelling(const DatumKey& k, const Program& prog) {
 }
 
 DatumKey resolve_datum(const std::string& spelling, const Program& prog) {
+  if (spelling == kBarrierName) return {kBarrierSym, -1};
   std::string sym_name = spelling;
   std::string field_name;
   if (size_t dot = spelling.find('.'); dot != std::string::npos) {
@@ -184,6 +206,13 @@ std::string plan_to_json(const TransformPlan& plan, const Program& prog) {
                                ? "blocked"
                                : "interleaved");
       w.key("chunk").value(d.chunk);
+    } else if (d.kind == TransformKind::kIntraPad) {
+      w.key("chunk").value(d.chunk);
+    } else if (d.kind == TransformKind::kFieldReorder ||
+               d.kind == TransformKind::kHotColdSplit) {
+      w.key("fields").begin_array();
+      for (int f : d.fields) w.value(f);
+      w.end_array();
     }
     w.key("reason").begin_object();
     w.key("code").value(reason_code_name(d.reason.code));
@@ -195,6 +224,7 @@ std::string plan_to_json(const TransformPlan& plan, const Program& prog) {
         w.key("dim").value(d.reason.dim);
         break;
       case ReasonCode::kProfileFalseSharing:
+      case ReasonCode::kConflictGraph:
         w.key("fs_misses").value(d.reason.fs_misses);
         w.key("fs_share").value(d.reason.fs_share);
         break;
@@ -240,7 +270,10 @@ TransformPlan plan_from_json(std::string_view json, const Program& prog) {
          {"group&transpose", TransformKind::kGroupTranspose},
          {"indirection", TransformKind::kIndirection},
          {"pad&align", TransformKind::kPadAlign},
-         {"lock-pad", TransformKind::kLockPad}});
+         {"lock-pad", TransformKind::kLockPad},
+         {"field-reorder", TransformKind::kFieldReorder},
+         {"hot-cold-split", TransformKind::kHotColdSplit},
+         {"intra-pad", TransformKind::kIntraPad}});
     if (d.kind == TransformKind::kGroupTranspose ||
         d.kind == TransformKind::kIndirection) {
       d.pid_dim = static_cast<int>(int_member(jd, "pid_dim", "decision"));
@@ -249,6 +282,17 @@ TransformPlan plan_from_json(std::string_view json, const Program& prog) {
           {{"blocked", PartitionShape::kBlocked},
            {"interleaved", PartitionShape::kInterleaved}});
       d.chunk = int_member(jd, "chunk", "decision");
+    } else if (d.kind == TransformKind::kIntraPad) {
+      d.chunk = int_member(jd, "chunk", "decision");
+    } else if (d.kind == TransformKind::kFieldReorder ||
+               d.kind == TransformKind::kHotColdSplit) {
+      const json::Value& jf = member(jd, "fields", "decision");
+      FSOPT_CHECK(jf.is_array(),
+                  "decision member \"fields\" must be an array");
+      for (const json::Value& f : jf.items()) {
+        FSOPT_CHECK(f.is_number(), "decision field indices must be numbers");
+        d.fields.push_back(static_cast<int>(f.as_i64()));
+      }
     }
     const json::Value& jr = member(jd, "reason", "decision");
     FSOPT_CHECK(jr.is_object(),
@@ -260,7 +304,8 @@ TransformPlan plan_from_json(std::string_view json, const Program& prog) {
          {"per-process-writes", ReasonCode::kPerProcessWrites},
          {"shared-non-local", ReasonCode::kSharedNonLocal},
          {"struct-consensus", ReasonCode::kStructConsensus},
-         {"profile-false-sharing", ReasonCode::kProfileFalseSharing}});
+         {"profile-false-sharing", ReasonCode::kProfileFalseSharing},
+         {"conflict-graph", ReasonCode::kConflictGraph}});
     switch (d.reason.code) {
       case ReasonCode::kPerProcessWrites:
         d.reason.read_pattern = parse_enum<Pattern>(
@@ -274,6 +319,7 @@ TransformPlan plan_from_json(std::string_view json, const Program& prog) {
         d.reason.dim = static_cast<int>(int_member(jr, "dim", "reason"));
         break;
       case ReasonCode::kProfileFalseSharing:
+      case ReasonCode::kConflictGraph:
         d.reason.fs_misses =
             static_cast<u64>(int_member(jr, "fs_misses", "reason"));
         d.reason.fs_share =

@@ -25,6 +25,12 @@ enum class TransformKind : u8 {
   kIndirection,
   kPadAlign,
   kLockPad,
+  // Intra-datum transformations, driven by the word-granularity conflict
+  // graph (sim/attribution.h): they change layout *within* one datum
+  // instead of moving whole datums apart.
+  kFieldReorder,   // permute a struct's field order (fields = permutation)
+  kHotColdSplit,   // split hot fields into their own region (fields = hot)
+  kIntraPad,       // pad between consecutive elements/words (chunk = stride)
 };
 
 const char* transform_name(TransformKind k);
@@ -45,6 +51,9 @@ enum class ReasonCode : u8 {
   kStructConsensus,       // §3.3: all fields per-process (param: dim)
   kProfileFalseSharing,   // profile-guided: attributed FS misses (params:
                           //   miss count, share of all attributed FS)
+  kConflictGraph,         // word-granularity conflict graph: intra-datum
+                          //   conflict edges (params: fs_misses = edge
+                          //   weight, fs_share = share of graph weight)
 };
 
 const char* reason_code_name(ReasonCode c);
@@ -69,15 +78,20 @@ struct TransformDecision {
   TransformKind kind = TransformKind::kNone;
   int pid_dim = -1;
   PartitionShape shape = PartitionShape::kBlocked;
-  i64 chunk = 1;  // C for blocked partitionings
+  i64 chunk = 1;  // C for blocked partitionings; byte stride for kIntraPad
   DecisionReason reason;
+  /// Field indices for the intra-datum kinds: the full field permutation
+  /// for kFieldReorder, the split-out hot fields for kHotColdSplit.
+  /// Empty for every other kind.  (Declared after `reason` so the many
+  /// pre-existing 6-element aggregate initializers stay valid.)
+  std::vector<int> fields;
 
   bool operator==(const TransformDecision&) const = default;
   /// True when the decisions agree on everything the layout engine reads
   /// (i.e. everything except the reason).
   bool same_effect(const TransformDecision& o) const {
     return datum == o.datum && kind == o.kind && pid_dim == o.pid_dim &&
-           shape == o.shape && chunk == o.chunk;
+           shape == o.shape && chunk == o.chunk && fields == o.fields;
   }
 };
 

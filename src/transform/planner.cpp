@@ -1,10 +1,18 @@
 #include "transform/planner.h"
 
 #include <memory>
+#include <set>
 
 namespace fsopt {
 
 const FalseSharingProfile::Entry* FalseSharingProfile::find(
+    const std::string& name) const {
+  for (const Entry& e : entries)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+const ConflictProfile::Entry* ConflictProfile::find(
     const std::string& name) const {
   for (const Entry& e : entries)
     if (e.name == name) return &e;
@@ -29,6 +37,40 @@ bool plan_covers(const TransformPlan& plan, const DatumKey& key) {
       return true;
   }
   return false;
+}
+
+/// Greedy processor-affinity partition of a datum's conflicting words:
+/// each word goes to the processor with the most incident edge weight
+/// (ties to the lowest processor id, deterministically).  cross_weight is
+/// the weight of pairs whose endpoints got different owners — the
+/// conflict weight the partition removes once the owner groups live in
+/// separate coherence units.
+struct AffinityCut {
+  std::map<i64, int> owner;  // word byte offset -> owning processor
+  u64 cross_weight = 0;
+};
+
+AffinityCut affinity_cut(const ConflictProfile::Entry& e) {
+  std::map<i64, std::map<int, u64>> weight;  // word -> proc -> weight
+  for (const ConflictProfile::Pair& p : e.pairs) {
+    weight[p.writer_off][p.writer_proc] += p.weight;
+    weight[p.victim_off][p.victim_proc] += p.weight;
+  }
+  AffinityCut cut;
+  for (const auto& [off, procs] : weight) {
+    int best = -1;
+    u64 best_w = 0;
+    for (const auto& [proc, w] : procs)
+      if (best < 0 || w > best_w) {
+        best = proc;
+        best_w = w;
+      }
+    cut.owner[off] = best;
+  }
+  for (const ConflictProfile::Pair& p : e.pairs)
+    if (cut.owner[p.writer_off] != cut.owner[p.victim_off])
+      cut.cross_weight += p.weight;
+  return cut;
 }
 
 }  // namespace
@@ -100,11 +142,118 @@ TransformPlan ProfilePlanner::plan(const PlannerInputs& in) const {
   return out;
 }
 
+TransformPlan GraphPlanner::plan(const PlannerInputs& in) const {
+  TransformPlan out = ProfilePlanner(opt_.profile).plan(in);
+  out.planner = name();
+  if (in.conflicts == nullptr || in.conflicts->total_weight == 0) return out;
+
+  // Entries arrive sorted by descending conflict weight, so the plan
+  // grows in order of measured damage — deterministically.
+  for (const ConflictProfile::Entry& e : in.conflicts->entries) {
+    if (e.weight < opt_.min_weight) continue;
+    double share = static_cast<double>(e.weight) /
+                   static_cast<double>(in.conflicts->total_weight);
+    if (share < opt_.min_weight_fraction) continue;
+
+    DecisionReason reason;
+    reason.code = ReasonCode::kConflictGraph;
+    reason.fs_misses = e.weight;
+    reason.fs_share = share;
+
+    // The interpreter's central barrier: not a program datum, so it is
+    // invisible to the §3.3 heuristics and the profile pass alike.  Its
+    // three packed words ping-pong between every process each episode;
+    // stride them into separate coherence units.
+    if (e.name == kBarrierName) {
+      DatumKey key{kBarrierSym, -1};
+      if (!plan_covers(out, key))
+        out.decisions.push_back({key, TransformKind::kIntraPad, -1,
+                                 PartitionShape::kBlocked, opt_.pad_stride,
+                                 reason});
+      continue;
+    }
+
+    // Conflict entries are keyed by address-map range name.  Struct
+    // symbols map as one symbol-level range while the sharing report
+    // classifies their accesses per *field*, so a symbol-level entry may
+    // have no DatumClass at all — resolve the global by name in that
+    // case (datum {sym, -1}).
+    const DatumClass* dc = nullptr;
+    for (const DatumClass& d : in.report.data)
+      if (d.name == e.name) dc = &d;
+    const GlobalSym* gs;
+    DatumKey key;
+    if (dc != nullptr) {
+      gs = in.summary.datum_sym(dc->datum);
+      key = dc->datum;
+    } else {
+      gs = in.summary.prog->find_global(e.name);
+      key = gs != nullptr ? DatumKey{gs->id, -1} : DatumKey{};
+    }
+    if (gs == nullptr) continue;
+    if (plan_covers(out, key)) continue;
+
+    AffinityCut cut = affinity_cut(e);
+    if (static_cast<double>(cut.cross_weight) <
+        opt_.min_cut_fraction * static_cast<double>(e.weight))
+      continue;
+
+    // Symbol-level struct datum: map the conflicting words to fields and
+    // split every conflict-carrying field into its own block-aligned
+    // region (the cold remainder keeps the compact base layout).
+    if (gs->elem.is_struct && key.field < 0) {
+      const StructType& st = *gs->elem.strct;
+      std::set<int> hot;
+      bool mapped = true;
+      for (const auto& [off, proc] : cut.owner) {
+        (void)proc;
+        i64 rel = off % gs->elem.byte_size();
+        int fi = -1;
+        for (size_t f = 0; f < st.fields.size(); ++f)
+          if (rel >= st.fields[f].offset &&
+              rel < st.fields[f].offset + st.fields[f].byte_size())
+            fi = static_cast<int>(f);
+        if (fi < 0) {
+          mapped = false;
+          break;
+        }
+        hot.insert(fi);
+      }
+      if (!mapped || hot.empty()) continue;
+      i64 footprint =
+          static_cast<i64>(hot.size()) * gs->elem_count() * in.block_size;
+      if (footprint > opt_.profile.pad_footprint_limit) continue;
+      TransformDecision d{key, TransformKind::kHotColdSplit, -1,
+                          PartitionShape::kBlocked, 1, reason};
+      d.fields.assign(hot.begin(), hot.end());
+      out.decisions.push_back(std::move(d));
+      continue;
+    }
+
+    // Scalar arrays and field-level datums: the conflicting words are
+    // distinct elements; stride them apart.  The stride (not the plan's
+    // block size) sets the spacing, so the separation holds at every
+    // swept block size up to the stride.
+    i64 elems = 1;
+    if (dc != nullptr) {
+      for (i64 ext : dc->extents) elems *= ext;
+    } else {
+      elems = gs->elem_count();
+    }
+    if (elems * opt_.pad_stride > opt_.profile.pad_footprint_limit) continue;
+    out.decisions.push_back({key, TransformKind::kIntraPad, -1,
+                             PartitionShape::kBlocked, opt_.pad_stride,
+                             reason});
+  }
+  return out;
+}
+
 std::unique_ptr<Planner> make_planner(const std::string& name) {
   if (name == "static") return std::make_unique<StaticPlanner>();
   if (name == "profile") return std::make_unique<ProfilePlanner>();
+  if (name == "graph") return std::make_unique<GraphPlanner>();
   throw InternalError("unknown planner '" + name +
-                      "' (expected static or profile)");
+                      "' (expected static, profile or graph)");
 }
 
 }  // namespace fsopt

@@ -16,6 +16,11 @@
 //                     build_fs_profile); this layer only sees the plain
 //                     name-keyed numbers, keeping transform/ independent
 //                     of sim/ and driver/.
+//   GraphPlanner    — the profile pass plus intra-datum repair driven by
+//                     the word-granularity conflict graph
+//                     (ConflictProfile): partitions each datum's
+//                     conflicting words by processor affinity and
+//                     splits/pads the parts into separate coherence units.
 //
 // The repair loop (driver/experiment.h repair_loop) alternates
 // ProfilePlanner with re-simulation until the plan reaches a fixed point.
@@ -44,9 +49,37 @@ struct FalseSharingProfile {
   const Entry* find(const std::string& name) const;
 };
 
+/// Word-granularity conflict attribution distilled per datum.  Offsets
+/// are bytes relative to the datum's base; the driver distills this from
+/// the simulator's per-line conflict graph plus the address map
+/// (driver/experiment.h build_conflict_profile), so this layer only sees
+/// plain name-keyed numbers and transform/ stays independent of sim/.
+/// Cross-datum edges (the inter-datum transforms' territory) are not
+/// included.
+struct ConflictProfile {
+  struct Pair {
+    i64 writer_off = 0;  // byte offset of the invalidating written word
+    i64 victim_off = 0;  // byte offset of the word whose read missed
+    int writer_proc = 0;
+    int victim_proc = 0;
+    u64 weight = 0;  // false-sharing misses attributed to this pair
+  };
+  struct Entry {
+    std::string name;  // address-map spelling ("g", "g.f", "<barrier>")
+    u64 weight = 0;    // sum of pair weights
+    std::vector<Pair> pairs;
+  };
+  /// Sorted by descending weight (ties by name).
+  std::vector<Entry> entries;
+  i64 block_size = 0;    // configuration the graph was collected at
+  u64 total_weight = 0;  // sum over entries (intra-datum edges only)
+
+  const Entry* find(const std::string& name) const;
+};
+
 /// Everything a planner may consult.  `profile` is null for planners that
 /// do not use one; `base` (when non-null) is the plan to refine rather
-/// than starting from scratch.
+/// than starting from scratch; `conflicts` feeds the graph planner.
 struct PlannerInputs {
   const SharingReport& report;
   const ProgramSummary& summary;
@@ -54,6 +87,7 @@ struct PlannerInputs {
   i64 block_size = 128;
   const FalseSharingProfile* profile = nullptr;
   const TransformPlan* base = nullptr;
+  const ConflictProfile* conflicts = nullptr;
 };
 
 class Planner {
@@ -101,8 +135,44 @@ class ProfilePlanner : public Planner {
   ProfilePlannerOptions opt_;
 };
 
-/// Planner registry for the CLI: "static" or "profile" (with default
-/// options).  Throws InternalError on unknown names.
+struct GraphPlannerOptions {
+  /// Options for the composed profile pass the graph planner runs first.
+  ProfilePlannerOptions profile;
+  /// A datum must carry at least this share of the whole graph's edge
+  /// weight to receive an intra-datum decision...
+  double min_weight_fraction = 0.02;
+  /// ... and at least this much absolute edge weight.
+  u64 min_weight = 16;
+  /// An affinity partition must explain at least this share of the
+  /// datum's conflict weight (cross-owner edges) to be worth acting on.
+  double min_cut_fraction = 0.5;
+  /// Byte stride for intra-datum padding.  Separated words must land in
+  /// distinct coherence units at *every* swept block size, so this
+  /// defaults to the largest block of the standard sweep, not the plan's
+  /// own block size.
+  i64 pad_stride = 256;
+};
+
+/// Conflict-graph-guided repair: runs the profile pass, then partitions
+/// each conflicting datum's words by processor affinity (greedy: every
+/// word goes to the processor with the most edge weight on it) and, when
+/// the partition explains enough of the conflict weight, separates the
+/// parts — kHotColdSplit for struct fields, kIntraPad for array words and
+/// for the interpreter's central barrier ("<barrier>", which has no
+/// DatumClass and is invisible to the profile pass).  Existing decisions
+/// are never modified or removed, so the repair loop still converges.
+class GraphPlanner : public Planner {
+ public:
+  explicit GraphPlanner(GraphPlannerOptions opt = {}) : opt_(opt) {}
+  const char* name() const override { return "graph"; }
+  TransformPlan plan(const PlannerInputs& in) const override;
+
+ private:
+  GraphPlannerOptions opt_;
+};
+
+/// Planner registry for the CLI: "static", "profile" or "graph" (with
+/// default options).  Throws InternalError on unknown names.
 std::unique_ptr<Planner> make_planner(const std::string& name);
 
 }  // namespace fsopt

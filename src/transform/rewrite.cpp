@@ -25,9 +25,35 @@ std::string rewrite_program(const Program& prog,
                   transforms.find({g->id, static_cast<int>(fi)}))
             d = fd;
       }
+      // Symbol-level intra-datum decisions (hot/cold split, reorder)
+      // cover individual fields through their `fields` list.
+      const TransformDecision* sd = nullptr;
+      for (const auto& g : prog.globals)
+        if (g->elem.is_struct && g->elem.strct == st.get())
+          if (const TransformDecision* s = transforms.find({g->id, -1}))
+            if (s->kind == TransformKind::kHotColdSplit ||
+                s->kind == TransformKind::kFieldReorder)
+              sd = s;
+      bool hot = false;
+      if (sd != nullptr && sd->kind == TransformKind::kHotColdSplit)
+        for (int hf : sd->fields) hot = hot || hf == static_cast<int>(fi);
       if (d != nullptr && d->kind == TransformKind::kIndirection) {
         os << "  " << scalar_name(f.kind) << " *" << f.name
            << ";  // indirection: data moved to per-process heap\n";
+      } else if (hot) {
+        os << "  " << scalar_name(f.kind) << " " << f.name;
+        if (f.array_len > 0) os << "[" << f.array_len << "]";
+        os << ";  // hot: split into its own block-aligned region\n";
+      } else if (sd != nullptr && sd->kind == TransformKind::kFieldReorder) {
+        os << "  " << scalar_name(f.kind) << " " << f.name;
+        if (f.array_len > 0) os << "[" << f.array_len << "]";
+        os << ";  // reordered to slot "
+           << [&] {
+                for (size_t s = 0; s < sd->fields.size(); ++s)
+                  if (sd->fields[s] == static_cast<int>(fi)) return s;
+                return fi;
+              }()
+           << "\n";
       } else if (d != nullptr && (d->kind == TransformKind::kPadAlign ||
                                   d->kind == TransformKind::kLockPad)) {
         os << "  " << scalar_name(f.kind) << " " << f.name;
@@ -87,8 +113,18 @@ std::string rewrite_program(const Program& prog,
       os << "  // pad & align: each element in its own block";
     if (d != nullptr && d->kind == TransformKind::kLockPad)
       os << "  // lock: padded to one block";
+    if (d != nullptr && d->kind == TransformKind::kIntraPad)
+      os << "  // intra-pad: elements strided " << d->chunk << " bytes apart";
+    if (d != nullptr && d->kind == TransformKind::kHotColdSplit)
+      os << "  // hot/cold split: hot fields hoisted to separate regions";
+    if (d != nullptr && d->kind == TransformKind::kFieldReorder)
+      os << "  // field-reorder: struct fields permuted";
     os << "\n";
   }
+  if (const TransformDecision* bd = transforms.find({kBarrierSym, -1}))
+    if (bd->kind == TransformKind::kIntraPad)
+      os << "// runtime barrier: lock/count/sense words strided " << bd->chunk
+         << " bytes apart\n";
   os << "\n";
 
   for (const auto& fn : prog.funcs) {

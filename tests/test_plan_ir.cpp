@@ -91,6 +91,51 @@ TEST(PlanJson, RoundTripPreservesProfileReasons) {
   EXPECT_EQ(plan_to_json(parsed, *c.prog), first);
 }
 
+TEST(PlanJson, RoundTripPreservesIntraDatumKinds) {
+  // The conflict-graph kinds carry a fields array (permutation / hot set)
+  // and may target the interpreter's barrier pseudo-datum; all of it must
+  // survive the text round trip byte-exactly.
+  Ctx c = analyze(kAllKindsSource);
+  TransformPlan plan;
+  plan.planner = "graph";
+  plan.block_size = 128;
+
+  TransformDecision reorder;
+  reorder.datum = key_of(c, "g");
+  reorder.kind = TransformKind::kFieldReorder;
+  reorder.fields = {1, 0};  // full permutation of S's two fields
+  reorder.reason = {ReasonCode::kConflictGraph, Pattern::kNone, -1, 77,
+                    0.25};
+  TransformDecision split;
+  split.datum = key_of(c, "g");
+  split.kind = TransformKind::kHotColdSplit;
+  split.fields = {1};
+  split.reason = {ReasonCode::kConflictGraph, Pattern::kNone, -1, 42, 0.5};
+  TransformDecision pad;
+  pad.datum = key_of(c, "a");
+  pad.kind = TransformKind::kIntraPad;
+  pad.chunk = 256;
+  pad.reason = {ReasonCode::kConflictGraph, Pattern::kNone, -1, 9000,
+                0.123456789012345};
+  TransformDecision barrier;
+  barrier.datum = {kBarrierSym, -1};
+  barrier.kind = TransformKind::kIntraPad;
+  barrier.chunk = 256;
+  barrier.reason = {ReasonCode::kConflictGraph, Pattern::kNone, -1, 735,
+                    0.043};
+  plan.decisions = {reorder, split, pad, barrier};
+
+  std::string first = plan_to_json(plan, *c.prog);
+  TransformPlan parsed = plan_from_json(first, *c.prog);
+  EXPECT_EQ(parsed, plan);
+  EXPECT_EQ(plan_to_json(parsed, *c.prog), first);
+  // The barrier datum round-trips through its reserved spelling.
+  EXPECT_NE(first.find("\"<barrier>\""), std::string::npos);
+  EXPECT_NE(first.find("field-reorder"), std::string::npos);
+  EXPECT_NE(first.find("hot-cold-split"), std::string::npos);
+  EXPECT_NE(first.find("intra-pad"), std::string::npos);
+}
+
 TEST(PlanJson, EmptyPlanRoundTrips) {
   Ctx c = analyze(kAllKindsSource);
   TransformPlan plan;  // default: no decisions, planner ""

@@ -43,6 +43,29 @@ TEST(Simd, LevelPlumbing) {
   EXPECT_FALSE(simd::cpu_features().empty());
 }
 
+TEST(Simd, Avx512TierSelection) {
+  // Requests degrade gracefully across the x86 tiers: an AVX-512 host
+  // serves both its own table and the AVX2 one (the FSOPT_SIMD=avx2 cap
+  // lands there); an AVX2-only host serves AVX2 for either request; hosts
+  // without either serve scalar.
+  const simd::Level host = simd::detected_level();
+  const simd::Kernels& req512 = simd::kernels(simd::Level::kAVX512);
+  const simd::Kernels& req2 = simd::kernels(simd::Level::kAVX2);
+  if (host == simd::Level::kAVX512) {
+    EXPECT_EQ(req512.level, simd::Level::kAVX512);
+    EXPECT_EQ(req2.level, simd::Level::kAVX2);
+    EXPECT_NE(req512.max_u32, req2.max_u32);
+    EXPECT_NE(req512.any_version_newer, req2.any_version_newer);
+  } else if (host == simd::Level::kAVX2) {
+    EXPECT_EQ(req512.level, simd::Level::kAVX2);
+    EXPECT_EQ(req2.level, simd::Level::kAVX2);
+  } else {
+    EXPECT_EQ(req512.level, simd::Level::kScalar);
+    EXPECT_EQ(req2.level, simd::Level::kScalar);
+  }
+  EXPECT_STREQ(simd::level_name(simd::Level::kAVX512), "avx512");
+}
+
 TEST(Simd, MaxU32MatchesScalarOnEveryExtent) {
   const simd::Kernels& k = simd::kernels(simd::detected_level());
   // A deterministic mix of small, large, and boundary values, swept over

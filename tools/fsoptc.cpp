@@ -13,7 +13,18 @@
 //   --planner NAME      static (default): the §3.3 heuristics;
 //                       profile: run the detect->transform->verify repair
 //                       loop (trace, attribute false sharing per datum,
-//                       extend the plan, re-verify to a fixed point)
+//                       extend the plan, re-verify to a fixed point);
+//                       graph: the repair loop driven by the word-
+//                       granularity conflict graph — collects per-word
+//                       (writer, victim) false-sharing edges, partitions
+//                       each datum's words by processor affinity, adds
+//                       intra-datum decisions (hot/cold split, intra-pad,
+//                       barrier padding) and scores candidate plans
+//                       across the whole block-size sweep
+//   --conflict-graph-out PATH
+//                       write the final compile's word-granularity
+//                       conflict graphs (one JSON object per swept block
+//                       size) to PATH; requires --planner graph
 //   --plan-out PATH     write the final transform plan as JSON
 //   --plan-in PATH      inject a transform plan from JSON instead of
 //                       planning (also adopts the plan's block size
@@ -68,6 +79,7 @@ struct Cli {
   std::string planner = "static";
   std::string plan_out;
   std::string plan_in;
+  std::string conflict_graph_out;
   bool plan_diff = false;
   bool report = false;
   bool transforms = false;
@@ -87,8 +99,9 @@ struct Cli {
                "usage: fsoptc FILE.ppl [--nprocs N] [--param K=V] "
                "[--block N]\n"
                "              [--no-optimize] [--workload NAME]\n"
-               "              [--planner static|profile] [--plan-out PATH]\n"
-               "              [--plan-in PATH] [--plan-diff]\n"
+               "              [--planner static|profile|graph]\n"
+               "              [--plan-out PATH] [--plan-in PATH]\n"
+               "              [--plan-diff] [--conflict-graph-out PATH]\n"
                "              [--report] [--transforms]\n"
                "              [--rewrite] [--run] [--miss [B,...]] [--ksr]\n"
                "              [--disasm] [--timings[=json]] [--threads N]\n"
@@ -121,12 +134,15 @@ Cli parse_cli(int argc, char** argv) {
       cli.workload = next();
     } else if (a == "--planner") {
       cli.planner = next();
-      if (cli.planner != "static" && cli.planner != "profile")
-        usage("--planner expects static or profile");
+      if (cli.planner != "static" && cli.planner != "profile" &&
+          cli.planner != "graph")
+        usage("--planner expects static, profile or graph");
     } else if (a == "--plan-out") {
       cli.plan_out = next();
     } else if (a == "--plan-in") {
       cli.plan_in = next();
+    } else if (a == "--conflict-graph-out") {
+      cli.conflict_graph_out = next();
     } else if (a == "--plan-diff") {
       cli.plan_diff = true;
     } else if (a == "--report") {
@@ -171,11 +187,14 @@ Cli parse_cli(int argc, char** argv) {
   if (cli.file.empty() == cli.workload.empty())
     usage(cli.file.empty() ? nullptr
                            : "give either FILE.ppl or --workload, not both");
-  if (!cli.plan_in.empty() && cli.planner == "profile")
-    usage("--plan-in and --planner=profile are mutually exclusive");
+  if (!cli.plan_in.empty() && cli.planner != "static")
+    usage("--plan-in and --planner are mutually exclusive");
+  if (!cli.conflict_graph_out.empty() && cli.planner != "graph")
+    usage("--conflict-graph-out requires --planner graph");
   if (!cli.report && !cli.transforms && !cli.rewrite && !cli.run &&
       !cli.miss && !cli.ksr && !cli.disasm && !cli.timings &&
-      cli.plan_out.empty() && !cli.plan_diff) {
+      cli.plan_out.empty() && !cli.plan_diff &&
+      cli.conflict_graph_out.empty()) {
     cli.transforms = cli.miss = cli.ksr = true;
   }
   return cli;
@@ -232,21 +251,47 @@ int main(int argc, char** argv) {
 
     PipelineMetrics metrics;
     Compiled c;
-    if (cli.planner == "profile") {
+    if (cli.planner == "profile" || cli.planner == "graph") {
       // The detect -> transform -> verify loop (driver/experiment.h).
       RepairLoopOptions rl;
       rl.block_size = cli.options.block_size;
+      rl.planner_name = cli.planner;
       RepairResult rr = repair_loop(source, cli.options, rl);
       c = std::move(rr.final_compiled);
       std::printf(
-          "repair loop: %zu iteration(s)%s, false-sharing misses "
+          "repair loop (%s): %zu iteration(s)%s, false-sharing misses "
           "%llu -> %llu at block %lld\n",
-          rr.iterations.size(), rr.converged ? " (converged)" : "",
+          cli.planner.c_str(), rr.iterations.size(),
+          rr.converged ? " (converged)" : "",
           static_cast<unsigned long long>(rr.baseline.false_sharing),
           static_cast<unsigned long long>(rr.final_stats().false_sharing),
           static_cast<long long>(rl.block_size));
+      if (cli.planner == "graph") {
+        const std::map<i64, MissStats>& final_sweep =
+            rr.iterations.empty() ? rr.baseline_sweep
+                                  : rr.iterations.back().sweep;
+        for (const auto& [b, s] : final_sweep)
+          std::printf("  sweep block %4lld: false-sharing %llu -> %llu\n",
+                      static_cast<long long>(b),
+                      static_cast<unsigned long long>(
+                          rr.baseline_sweep.at(b).false_sharing),
+                      static_cast<unsigned long long>(s.false_sharing));
+      }
+      if (!cli.conflict_graph_out.empty()) {
+        AddressMap am = build_address_map(c);
+        std::string doc = "[\n";
+        bool first = true;
+        for (const auto& [b, g] : rr.conflicts) {
+          if (!first) doc += ",\n";
+          first = false;
+          doc += conflict_graph_to_json(g, &am);
+        }
+        doc += "\n]\n";
+        write_file(cli.conflict_graph_out, doc);
+      }
       if (cli.plan_diff)
-        std::printf("--- plan diff (static -> profile) ---\n%s",
+        std::printf("--- plan diff (static -> %s) ---\n%s",
+                    cli.planner.c_str(),
                     plan_diff(rr.static_plan, rr.final_plan())
                         .render(c.summary)
                         .c_str());
