@@ -147,13 +147,13 @@ int main(int argc, char** argv) {
   // The simd / pipeline / composed sections below are schedule-dependent:
   // their ratios only mean something next to the vector features and the
   // core count of the host that produced them.
-  json.add("host", "cpu_features", simd::cpu_features());
-  json.add("host", "cpus", static_cast<double>(cpus));
+  json.meta("cpu_features", simd::cpu_features());
+  json.meta("cpus", static_cast<double>(cpus));
   if (cpus == 1)
-    json.add("host", "note",
-             std::string("single-core host: pipeline and composed-shard "
-                         "speedups are exactness checks here; their "
-                         "parallel headroom needs >= 2 cores"));
+    json.meta("note",
+              std::string("single-core host: pipeline and composed-shard "
+                          "speedups are exactness checks here; their "
+                          "parallel headroom needs >= 2 cores"));
 
   // --- 1+2: serial flat vs. hash, plain and attributed ----------------
   TextTable serial({"block", "hash", "flat", "speedup", "hash+attr",

@@ -78,7 +78,12 @@ inline BenchOptions parse_bench_args(int& argc, char** argv,
 }
 
 /// Collects per-workload metric values and writes them as JSON:
-///   {"results": [{"workload": ..., "metric": ..., "value": ...}, ...]}
+///   {"meta": {...}, "results": [{"workload": ..., "metric": ...,
+///    "value": ...}, ...]}
+/// `meta` describes the run (host facts, notes) — run description used to
+/// be smuggled in as fake "workload": "host" result rows, which every
+/// consumer had to filter back out; it is a top-level object now (always
+/// present, possibly empty).  tools/fsopt_diff reads both shapes.
 class JsonReport {
  public:
   void add(const std::string& workload, const std::string& metric,
@@ -86,10 +91,19 @@ class JsonReport {
     rows_.push_back({workload, metric, value, "", false});
   }
 
-  /// String-valued metric (host descriptions, feature strings).
+  /// String-valued metric (feature strings and the like).
   void add(const std::string& workload, const std::string& metric,
            const std::string& text) {
     rows_.push_back({workload, metric, 0, text, true});
+  }
+
+  /// Run-level facts (host description, cpu count, notes) — emitted into
+  /// the top-level "meta" object, not the results array.
+  void meta(const std::string& key, const std::string& text) {
+    meta_.push_back({key, 0, text, true});
+  }
+  void meta(const std::string& key, double value) {
+    meta_.push_back({key, value, "", false});
   }
 
   /// Write to `path`; no-op when path is empty.  Exits with an error
@@ -98,7 +112,17 @@ class JsonReport {
     if (path.empty()) return;
     std::string doc;
     json::Writer w(&doc, 2);
-    w.begin_object().key("results").begin_array();
+    w.begin_object();
+    w.key("meta").begin_object();
+    for (const Meta& m : meta_) {
+      w.key(m.key);
+      if (m.is_text)
+        w.value(m.text);
+      else
+        w.value(m.value);
+    }
+    w.end_object();
+    w.key("results").begin_array();
     for (const Row& r : rows_) {
       w.begin_object().key("workload").value(r.workload).key("metric").value(
           r.metric);
@@ -127,7 +151,14 @@ class JsonReport {
     std::string text;
     bool is_text;
   };
+  struct Meta {
+    std::string key;
+    double value;
+    std::string text;
+    bool is_text;
+  };
   std::vector<Row> rows_;
+  std::vector<Meta> meta_;
 };
 
 /// Processor counts used for speedup sweeps (all divide the workload

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "workloads/workloads.h"
 
@@ -147,6 +148,13 @@ EncodedTrace record_encoded_trace(const Compiled& c) {
     if (sec > 0.0)
       span.arg("refs_per_sec", static_cast<double>(trace.size()) / sec);
   }
+  if (obs::metrics_enabled()) {
+    static obs::Gauge& bpr = obs::metric_gauge("trace.codec_bytes_per_ref");
+    static obs::Counter& recorded =
+        obs::metric_counter("trace.recorded_refs");
+    bpr.set(trace.bytes_per_ref());
+    recorded.inc(trace.size());
+  }
   return trace;
 }
 
@@ -186,6 +194,7 @@ replay_one_shard(const TracePartition& part, int k,
                  const CacheParams& params,
                  const AddressMap* attribution) {
   obs::Span span("replay", "shard");
+  u64 m_start = obs::metrics_enabled() ? obs::now_ns() : 0;
   ShardJobResult r;
   if (attribution != nullptr)
     r.datum.assign(attribution->ranges().size() + 1, MissStats{});
@@ -222,6 +231,16 @@ replay_one_shard(const TracePartition& part, int k,
     span.arg("replacement", static_cast<double>(r.stats.replacement));
     span.arg("true_sharing", static_cast<double>(r.stats.true_sharing));
     span.arg("false_sharing", static_cast<double>(r.stats.false_sharing));
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Histogram& rps =
+        obs::metric_histogram("replay.shard_refs_per_sec");
+    static obs::Counter& replayed =
+        obs::metric_counter("replay.shard_refs");
+    u64 refs = sh.refs.size() + sh.splits.size();
+    replayed.inc(refs);
+    double sec = static_cast<double>(obs::now_ns() - m_start) * 1e-9;
+    if (sec > 0.0) rps.observe(static_cast<double>(refs) / sec);
   }
   return r;
 }
@@ -297,6 +316,7 @@ ShardedReplayResult replay_trace_sharded(const TraceBuffer& trace,
     ShardedReplayResult out;
     out.shards = 1;
     obs::Span span("replay", "config");
+    u64 m_start = obs::metrics_enabled() ? obs::now_ns() : 0;
     CacheSim sim(params, attribution);
     trace.replay(sim);
     out.stats = sim.stats();
@@ -307,6 +327,17 @@ ShardedReplayResult replay_trace_sharded(const TraceBuffer& trace,
       double sec = span.elapsed_seconds();
       if (sec > 0.0)
         span.arg("refs_per_sec", static_cast<double>(trace.size()) / sec);
+    }
+    if (obs::metrics_enabled()) {
+      // An unsharded configuration replay is the 1-shard case; it feeds
+      // the same throughput histogram as the sharded path.
+      static obs::Histogram& rps =
+          obs::metric_histogram("replay.shard_refs_per_sec");
+      static obs::Counter& replayed =
+          obs::metric_counter("replay.shard_refs");
+      replayed.inc(trace.size());
+      double sec = static_cast<double>(obs::now_ns() - m_start) * 1e-9;
+      if (sec > 0.0) rps.observe(static_cast<double>(trace.size()) / sec);
     }
     return out;
   }
@@ -626,8 +657,14 @@ RepairResult repair_loop(std::string_view source, const CompileOptions& base,
       graph ? static_cast<const Planner&>(graph_planner)
             : static_cast<const Planner&>(profile_planner);
 
+  static obs::Counter& loops = obs::metric_counter("repair.loops");
+  static obs::Counter& iterations = obs::metric_counter("repair.iterations");
+  static obs::Counter& rollbacks = obs::metric_counter("repair.rollbacks");
+  loops.inc();
+
   TransformPlan prev = out.static_plan;
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    iterations.inc();
     FalseSharingProfile profile = build_fs_profile(study, opt.block_size);
     ConflictProfile conflicts;
     PlannerInputs in{current.report, current.summary, copt.decision,
@@ -662,6 +699,7 @@ RepairResult repair_loop(std::string_view source, const CompileOptions& base,
         if (cand_study.at(b).false_sharing > study.at(b).false_sharing)
           regressed = true;
       if (regressed || total_fs(cand_study) >= total_fs(study)) {
+        rollbacks.inc();
         out.converged = true;
         break;
       }

@@ -33,6 +33,7 @@ struct Registry {
   std::string path;
   bool summary = false;
   bool exit_hook_registered = false;
+  std::string partial_reason;  // non-empty: exit dumps describe a partial run
 };
 
 Registry& registry() {
@@ -56,23 +57,32 @@ Log& local_log() {
 void at_exit_dump() {
   std::string path;
   bool summary;
+  std::string partial;
   {
     Registry& r = registry();
     std::lock_guard<std::mutex> lk(r.mu);
     path = r.path;
     summary = r.summary;
+    partial = r.partial_reason;
   }
   if (path.empty() && !summary) return;
   TraceData data = collect();
   if (!path.empty()) {
     if (write_trace_file(path, data))
       std::fprintf(stderr, "(obs: chrome trace written to %s — %zu spans, "
-                           "%zu counters)\n",
-                   path.c_str(), data.span_count(), data.counter_count());
+                           "%zu counters%s)\n",
+                   path.c_str(), data.span_count(), data.counter_count(),
+                   partial.empty() ? "" : ", PARTIAL DATA");
     else
       std::fprintf(stderr, "obs: cannot write trace to %s\n", path.c_str());
   }
-  if (summary) std::fputs(render_summary(data).c_str(), stderr);
+  if (summary) {
+    if (!partial.empty())
+      std::fprintf(stderr, "(obs: PARTIAL DATA — %s; the run exited early "
+                           "and this summary covers what ran)\n",
+                   partial.c_str());
+    std::fputs(render_summary(data).c_str(), stderr);
+  }
 }
 
 void register_exit_hook() {
@@ -136,6 +146,19 @@ bool summary_requested() {
   return r.summary;
 }
 
+void mark_partial(std::string_view reason) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  if (r.partial_reason.empty())
+    r.partial_reason.assign(reason.data(), reason.size());
+}
+
+std::string partial_reason() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.partial_reason;
+}
+
 void set_thread_name(std::string_view name) {
   Log& log = local_log();
   std::lock_guard<std::mutex> lk(log.mu);
@@ -187,6 +210,7 @@ void reset() {
     Registry& r = registry();
     std::lock_guard<std::mutex> lk(r.mu);
     logs = r.logs;
+    r.partial_reason.clear();
   }
   for (const auto& log : logs) {
     std::lock_guard<std::mutex> lk(log->mu);

@@ -61,6 +61,16 @@ std::string trace_path();
 void set_summary(bool on);
 bool summary_requested();
 
+/// Mark this process's observability data as incomplete: the run is
+/// exiting early (e.g. fsoptc on a CompileError) and the exit dumps —
+/// trace, summary, metrics — describe a partial run.  The first reason
+/// sticks; both the trace summary and the metrics exposition carry it,
+/// so a scraped report from a failed run is never mistaken for a
+/// complete one.
+void mark_partial(std::string_view reason);
+/// The partial marker, or empty when the run is (so far) complete.
+std::string partial_reason();
+
 /// Name the calling thread in the exported trace ("main", "pool-worker-3",
 /// ...).  Threads that never call this show up as "thread-N".
 void set_thread_name(std::string_view name);
@@ -112,8 +122,9 @@ struct TraceData {
 
 TraceData collect();
 
-/// Drop every recorded event (thread registrations and names persist).
-/// Tests use this to isolate what one operation recorded.
+/// Drop every recorded event (thread registrations and names persist)
+/// and clear the partial-data marker.  Tests use this to isolate what
+/// one operation recorded.
 void reset();
 
 /// Emit a counter sample for the calling thread.  `name` must point to

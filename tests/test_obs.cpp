@@ -3,7 +3,10 @@
 // ThreadPool instrumentation (queue-depth counters, busy spans), summary
 // aggregation, and the must-not-perturb-results guarantee — replay stats
 // bit-identical with tracing on vs. off, alongside the shard-determinism
-// suite in test_shard.cpp.
+// suite in test_shard.cpp.  The second half covers the metrics registry
+// (obs/metrics.h): histogram bucket boundaries, concurrent-increment
+// exactness, the kind-mismatch check, both expositions and the
+// partial-data marker.
 #include "obs/obs.h"
 
 #include <gtest/gtest.h>
@@ -12,6 +15,7 @@
 #include <thread>
 
 #include "driver/experiment.h"
+#include "obs/metrics.h"
 #include "obs/trace_writer.h"
 #include "support/json.h"
 #include "support/thread_pool.h"
@@ -249,6 +253,191 @@ TEST_F(ObsTest, ResetDropsEventsButKeepsThreadNames) {
   bool found = false;
   for (const obs::ThreadLog& t : data.threads) found |= t.name == "keeper";
   EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry (obs/metrics.h).
+// ---------------------------------------------------------------------------
+
+/// Instruments are process-global (registrations persist), so every test
+/// zeroes them and uses its own metric names.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_metrics_enabled(true);
+    obs::metrics_reset();
+    obs::reset();  // clears any partial marker a prior test left behind
+  }
+  void TearDown() override {
+    obs::set_metrics_enabled(false);
+    obs::metrics_reset();
+    obs::reset();
+  }
+
+  const obs::MetricSample* sample(const obs::MetricsSnapshot& snap,
+                                  std::string_view name) {
+    for (const obs::MetricSample& s : snap.samples)
+      if (s.name == name) return &s;
+    return nullptr;
+  }
+};
+
+TEST_F(MetricsTest, HistogramBucketBoundariesAreExact) {
+  using H = obs::Histogram;
+  // Bucket 0: everything <= 1 (and non-finite garbage).
+  EXPECT_EQ(H::bucket_index(0.0), 0u);
+  EXPECT_EQ(H::bucket_index(-3.0), 0u);
+  EXPECT_EQ(H::bucket_index(1.0), 0u);
+  // 2^i lands in bucket i; one ulp past it spills into bucket i + 1.
+  for (size_t i = 1; i <= 40; ++i) {
+    double p = static_cast<double>(u64{1} << i);
+    EXPECT_EQ(H::bucket_index(p), i) << "2^" << i;
+    EXPECT_EQ(H::bucket_index(p + 1.0), i + 1) << "2^" << i << " + 1";
+  }
+  EXPECT_EQ(H::bucket_index(1.5), 1u);
+  EXPECT_EQ(H::bucket_index(3.0), 2u);
+  // The overflow bucket absorbs everything past the covered range.
+  EXPECT_EQ(H::bucket_index(1e30), obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::histogram_bucket_upper(3), 8.0);
+}
+
+TEST_F(MetricsTest, HistogramObservationsLandInTheirBuckets) {
+  obs::Histogram& h = obs::metric_histogram("test.hist_land");
+  h.observe(1.0);    // bucket 0
+  h.observe(2.0);    // bucket 1
+  h.observe(100.0);  // (64, 128] -> bucket 7
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(7), 1u);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreLossless) {
+  obs::Counter& c = obs::metric_counter("test.concurrent_counter");
+  obs::Histogram& h = obs::metric_histogram("test.concurrent_hist");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(4.0);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<u64>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<u64>(kThreads) * kPerThread);
+  EXPECT_EQ(h.bucket(2), static_cast<u64>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), 4.0 * kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, DisabledUpdatesAccumulateNothing) {
+  obs::Counter& c = obs::metric_counter("test.disabled_counter");
+  obs::Gauge& g = obs::metric_gauge("test.disabled_gauge");
+  obs::Histogram& h = obs::metric_histogram("test.disabled_hist");
+  obs::set_metrics_enabled(false);
+  c.inc(5);
+  g.set(3.0);
+  g.add(2.0);
+  h.observe(7.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(MetricsTest, KindMismatchThrows) {
+  obs::metric_counter("test.kind_clash");
+  EXPECT_THROW(obs::metric_gauge("test.kind_clash"), InternalError);
+  // Same name under different labels is a distinct instrument — no clash.
+  obs::metric_gauge("test.kind_clash", {{"labeled", "yes"}});
+}
+
+TEST_F(MetricsTest, SnapshotExportsJsonAndPrometheus) {
+  obs::metric_counter("test.export_counter").inc(3);
+  obs::metric_gauge("test.export_gauge", {{"workload", "fmm"}}).set(1.5);
+  obs::Histogram& h = obs::metric_histogram("test.export_hist");
+  h.observe(2.0);
+  h.observe(5.0);
+
+  obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  EXPECT_FALSE(snap.partial());
+  const obs::MetricSample* c = sample(snap, "test.export_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->value, 3.0);
+
+  std::string doc = obs::metrics_to_json(snap);
+  EXPECT_TRUE(json::validate(doc)) << doc;
+  EXPECT_NE(doc.find("\"metrics_version\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"test.export_hist\""), std::string::npos);
+
+  std::string prom = obs::metrics_to_prometheus(snap);
+  EXPECT_NE(prom.find("fsopt_test_export_counter_total 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fsopt_test_export_gauge{workload=\"fmm\"} 1.5"),
+            std::string::npos);
+  // Cumulative buckets: both observations are <= 8, one is <= 2.
+  EXPECT_NE(prom.find("fsopt_test_export_hist_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fsopt_test_export_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fsopt_test_export_hist_count 2"), std::string::npos);
+  EXPECT_NE(prom.find("fsopt_partial 0"), std::string::npos);
+}
+
+TEST_F(MetricsTest, PartialMarkerFlowsIntoBothExpositions) {
+  obs::mark_partial("unit-test abort");
+  obs::mark_partial("second reason loses");  // first reason sticks
+  EXPECT_EQ(obs::partial_reason(), "unit-test abort");
+
+  obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  EXPECT_TRUE(snap.partial());
+  EXPECT_EQ(snap.partial_reason, "unit-test abort");
+  EXPECT_NE(obs::metrics_to_json(snap).find("\"partial\": true"),
+            std::string::npos);
+  EXPECT_NE(obs::metrics_to_prometheus(snap).find("fsopt_partial 1"),
+            std::string::npos);
+
+  obs::reset();  // reset clears the marker with the rest of the obs state
+  EXPECT_EQ(obs::partial_reason(), "");
+  EXPECT_FALSE(obs::metrics_snapshot().partial());
+}
+
+TEST_F(MetricsTest, ThreadPoolRegistersQueueDepthAndJobMetrics) {
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 5; ++i) pool.submit([] {});
+    pool.wait();
+  }
+  obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  const obs::MetricSample* jobs = sample(snap, "pool.jobs");
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_DOUBLE_EQ(jobs->value, 5.0);
+  const obs::MetricSample* depth = sample(snap, "pool.queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->value, 0.0);  // drained at pool shutdown
+}
+
+TEST_F(MetricsTest, StatsBitIdenticalWithMetricsOnAndOff) {
+  // Same guarantee as the tracing variant above: metric accumulation
+  // reads outcomes, never writes simulator state.
+  obs::set_enabled(false);
+  obs::set_metrics_enabled(false);
+  Compiled off_c = compile_source(kProgram, CompileOptions{});
+  TraceStudyResult off = run_trace_study(off_c, {16, 128}, 32 * 1024,
+                                         nullptr, /*threads=*/2,
+                                         /*shards=*/2);
+
+  obs::set_metrics_enabled(true);
+  Compiled on_c = compile_source(kProgram, CompileOptions{});
+  TraceStudyResult on = run_trace_study(on_c, {16, 128}, 32 * 1024, nullptr,
+                                        /*threads=*/2, /*shards=*/2);
+
+  EXPECT_EQ(compile_fingerprint(off_c), compile_fingerprint(on_c));
+  EXPECT_EQ(off.refs, on.refs);
+  for (const auto& [block, stats] : off.by_block)
+    EXPECT_EQ(stats, on.by_block.at(block)) << "block " << block;
 }
 
 }  // namespace

@@ -36,6 +36,11 @@
 //   --run               execute and report reference counts
 //   --miss [B,B,...]    trace-driven miss study (default 16,128)
 //   --ksr               execution time under the KSR2 model
+//   --diagnose[=json]   per-datum diagnosis (analysis/diagnose.h): miss
+//                       classes, access-pattern taxonomy label, conflict-
+//                       graph weight and a ranked recommendation per
+//                       datum; =json emits the machine-readable report
+//                       (schema diagnosis_version 1) to stdout
 //   --disasm            dump the bytecode
 //   --timings[=json]    per-pass compile metrics (pipeline pass times,
 //                       allocation traffic, domain counters); =json emits
@@ -48,6 +53,9 @@
 //   --trace-summary     print the runtime-trace aggregation (per-category
 //                       time, pool utilization, slowest pass/shard) to
 //                       stderr at exit
+//   --metrics-out PATH  write a metrics snapshot (obs/metrics.h) to PATH
+//                       at exit — Prometheus text exposition, or JSON when
+//                       PATH ends in .json; same as FSOPT_METRICS=PATH
 //
 // With no action flags, behaves like `--transforms --miss --ksr`.
 //
@@ -61,7 +69,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnose.h"
 #include "driver/experiment.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "transform/source_rewrite.h"
 #include "workloads/workloads.h"
@@ -88,6 +98,8 @@ struct Cli {
   bool miss = false;
   bool ksr = false;
   bool disasm = false;
+  bool diagnose = false;
+  bool diagnose_json = false;
   bool timings = false;
   bool timings_json = false;
   std::vector<i64> blocks = {16, 128};
@@ -104,8 +116,10 @@ struct Cli {
                "              [--plan-diff] [--conflict-graph-out PATH]\n"
                "              [--report] [--transforms]\n"
                "              [--rewrite] [--run] [--miss [B,...]] [--ksr]\n"
-               "              [--disasm] [--timings[=json]] [--threads N]\n"
-               "              [--trace-out PATH] [--trace-summary]\n");
+               "              [--disasm] [--diagnose[=json]]\n"
+               "              [--timings[=json]] [--threads N]\n"
+               "              [--trace-out PATH] [--trace-summary]\n"
+               "              [--metrics-out PATH]\n");
   std::exit(2);
 }
 
@@ -166,6 +180,10 @@ Cli parse_cli(int argc, char** argv) {
       cli.ksr = true;
     } else if (a == "--disasm") {
       cli.disasm = true;
+    } else if (a == "--diagnose") {
+      cli.diagnose = true;
+    } else if (a == "--diagnose=json") {
+      cli.diagnose = cli.diagnose_json = true;
     } else if (a == "--timings") {
       cli.timings = true;
     } else if (a == "--timings=json") {
@@ -176,6 +194,8 @@ Cli parse_cli(int argc, char** argv) {
       obs::set_trace_path(next());
     } else if (a == "--trace-summary") {
       obs::set_summary(true);
+    } else if (a == "--metrics-out") {
+      obs::set_metrics_path(next());
     } else if (a.rfind("--", 0) == 0) {
       usage(("unknown option " + a).c_str());
     } else if (cli.file.empty()) {
@@ -192,8 +212,8 @@ Cli parse_cli(int argc, char** argv) {
   if (!cli.conflict_graph_out.empty() && cli.planner != "graph")
     usage("--conflict-graph-out requires --planner graph");
   if (!cli.report && !cli.transforms && !cli.rewrite && !cli.run &&
-      !cli.miss && !cli.ksr && !cli.disasm && !cli.timings &&
-      cli.plan_out.empty() && !cli.plan_diff &&
+      !cli.miss && !cli.ksr && !cli.disasm && !cli.diagnose &&
+      !cli.timings && cli.plan_out.empty() && !cli.plan_diff &&
       cli.conflict_graph_out.empty()) {
     cli.transforms = cli.miss = cli.ksr = true;
   }
@@ -258,7 +278,10 @@ int main(int argc, char** argv) {
       rl.planner_name = cli.planner;
       RepairResult rr = repair_loop(source, cli.options, rl);
       c = std::move(rr.final_compiled);
-      std::printf(
+      // --diagnose=json owns stdout; narrate the loop on stderr there.
+      FILE* narrate = cli.diagnose_json ? stderr : stdout;
+      std::fprintf(
+          narrate,
           "repair loop (%s): %zu iteration(s)%s, false-sharing misses "
           "%llu -> %llu at block %lld\n",
           cli.planner.c_str(), rr.iterations.size(),
@@ -271,11 +294,12 @@ int main(int argc, char** argv) {
             rr.iterations.empty() ? rr.baseline_sweep
                                   : rr.iterations.back().sweep;
         for (const auto& [b, s] : final_sweep)
-          std::printf("  sweep block %4lld: false-sharing %llu -> %llu\n",
-                      static_cast<long long>(b),
-                      static_cast<unsigned long long>(
-                          rr.baseline_sweep.at(b).false_sharing),
-                      static_cast<unsigned long long>(s.false_sharing));
+          std::fprintf(narrate,
+                       "  sweep block %4lld: false-sharing %llu -> %llu\n",
+                       static_cast<long long>(b),
+                       static_cast<unsigned long long>(
+                           rr.baseline_sweep.at(b).false_sharing),
+                       static_cast<unsigned long long>(s.false_sharing));
       }
       if (!cli.conflict_graph_out.empty()) {
         AddressMap am = build_address_map(c);
@@ -340,6 +364,17 @@ int main(int argc, char** argv) {
                      sk.c_str());
     }
     if (cli.disasm) std::printf("%s", c.code.disassemble().c_str());
+    if (cli.diagnose) {
+      DiagnoseOptions dopt;
+      dopt.block_size = cli.options.block_size;
+      std::string name =
+          !cli.workload.empty() ? cli.workload : display_name;
+      DiagnosisReport diag = diagnose(c, name, dopt);
+      if (cli.diagnose_json)
+        std::printf("%s", diagnosis_to_json(diag).c_str());
+      else
+        std::printf("%s", render_diagnosis(diag).c_str());
+    }
     if (cli.run) {
       auto m = run_program(c);
       std::printf("ran %lld processes: %llu instructions, %llu shared "
@@ -372,6 +407,10 @@ int main(int argc, char** argv) {
                   static_cast<long long>(t.ksr.queue_cycles));
     }
   } catch (const CompileError& e) {
+    // The atexit reporters (--trace-summary, --metrics-out) still run on
+    // this path; the marker makes them say their data covers a run that
+    // exited early instead of a completed one.
+    obs::mark_partial("compile error");
     // One line per diagnostic, compiler-style, with the source location.
     if (e.diagnostics.empty()) {
       std::fprintf(stderr, "%s: error: %s\n", display_name.c_str(),
@@ -391,6 +430,7 @@ int main(int argc, char** argv) {
     }
     return 1;
   } catch (const InternalError& e) {
+    obs::mark_partial("internal error");
     std::fprintf(stderr, "fsoptc: %s\n", e.what());
     return 1;
   }
