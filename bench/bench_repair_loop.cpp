@@ -11,21 +11,32 @@
 // conflict graph and adds intra-datum repairs (barrier striding, hot/cold
 // splits, intra-padding) the datum-level profile cannot see.
 //
-// This bench runs both loops on every workload and prints false-sharing
-// misses for N (unoptimized), C(static), C(profile), C(graph) and P
-// (programmer) side by side — at the primary repair block size, and in a
-// second table across the whole {32, 64, 128, 256} sweep.  It hard-fails
-// unless:
+// On top of the loops sits the plan-space search (transform/search.h):
+// seeded by the graph loop's converged plan, it explores alternative
+// per-datum treatments under a replay budget, scored by real replays
+// across the sweep — the S column.  Its per-workload Pareto frontier
+// size is reported alongside.
+//
+// This bench runs both loops plus the search on every workload and
+// prints false-sharing misses for N (unoptimized), C(static),
+// C(profile), C(graph), S(search) and P (programmer) side by side — at
+// the primary repair block size, and in a second table across the whole
+// {32, 64, 128, 256} sweep.  It hard-fails unless:
 //   * every loop run converges within its iteration budget;
 //   * the profile pass strictly reduces false sharing on Maxflow and
 //     Raytrace (the two programs the paper singles out) and never
 //     increases it anywhere;
 //   * the graph planner never exceeds the profile planner's residual
 //     false sharing on any workload at any swept size, and strictly
-//     beats it on Maxflow and Raytrace at the primary size.
+//     beats it on Maxflow and Raytrace at the primary size;
+//   * the search never exceeds the graph planner's residual false
+//     sharing on any workload at any swept size, and its Pareto
+//     frontier is non-empty everywhere.
 //
 // Extra flags (on top of the shared --threads/--json):
 //   --block N   primary coherence-unit size to repair at (default 128)
+// FSOPT_SEARCH_BUDGET overrides the per-workload candidate-replay budget
+// (default here: 12).
 #include <algorithm>
 
 #include "bench_util.h"
@@ -84,9 +95,9 @@ int main(int argc, char** argv) {
 
   JsonReport json;
   TextTable tab({"workload", "N", "C(static)", "C(profile)", "C(graph)",
-                 "vs static", "iters", "P"});
-  TextTable sweep_tab(
-      {"workload", "block", "N", "C(static)", "C(profile)", "C(graph)", "P"});
+                 "S(search)", "vs static", "iters", "front", "P"});
+  TextTable sweep_tab({"workload", "block", "N", "C(static)", "C(profile)",
+                       "C(graph)", "S(search)", "P"});
   bool ok = true;
   std::vector<std::string> diffs;
   for (const auto& w : workloads::all()) {
@@ -96,10 +107,16 @@ int main(int argc, char** argv) {
     RepairResult rp = repair_loop(
         w.natural, options_for(w, w.fig3_procs, true, false), popt);
 
-    RepairLoopOptions gopt = popt;
-    gopt.planner_name = "graph";
-    RepairResult rg = repair_loop(
-        w.natural, options_for(w, w.fig3_procs, true, false), gopt);
+    // The search runs its own graph-planner repair loop as the seed, so
+    // one call yields both the C(graph) and the S(search) columns.
+    SearchPlanOptions sopt;
+    sopt.seed = popt;
+    sopt.seed.planner_name = "graph";
+    sopt.budget.max_replays = 12;
+    sopt.budget = search_budget_from_env(sopt.budget);
+    SearchPlanResult sp = search_plan(
+        w.natural, options_for(w, w.fig3_procs, true, false), sopt);
+    const RepairResult& rg = sp.seed;
 
     u64 fs_static = rp.baseline.false_sharing;
     u64 fs_profile = rp.final_stats().false_sharing;
@@ -107,6 +124,8 @@ int main(int argc, char** argv) {
     std::map<i64, u64> sw_static = fs_of(rp.baseline_sweep);
     std::map<i64, u64> sw_profile = final_sweep(rp);
     std::map<i64, u64> sw_graph = final_sweep(rg);
+    const std::map<i64, u64>& sw_search = sp.final_fs();
+    u64 fs_search = sw_search.at(block);
 
     std::map<i64, u64> sw_unopt;
     std::string n_cell = "-";
@@ -126,20 +145,21 @@ int main(int argc, char** argv) {
     double reduction =
         fs_static == 0
             ? 0.0
-            : 100.0 * (1.0 - static_cast<double>(fs_graph) /
+            : 100.0 * (1.0 - static_cast<double>(fs_search) /
                                  static_cast<double>(fs_static));
     tab.add_row({w.name, n_cell, std::to_string(fs_static),
                  std::to_string(fs_profile), std::to_string(fs_graph),
-                 fs_graph == fs_static ? "-" : "-" + pct(reduction / 100),
+                 std::to_string(fs_search),
+                 fs_search == fs_static ? "-" : "-" + pct(reduction / 100),
                  std::to_string(rg.iterations.size()) +
                      (rg.converged ? "" : "!"),
-                 p_cell});
+                 std::to_string(sp.search.frontier.size()), p_cell});
     for (i64 b : blocks) {
       sweep_tab.add_row(
           {w.name, std::to_string(b),
            sw_unopt.count(b) ? std::to_string(sw_unopt.at(b)) : "-",
            std::to_string(sw_static.at(b)), std::to_string(sw_profile.at(b)),
-           std::to_string(sw_graph.at(b)),
+           std::to_string(sw_graph.at(b)), std::to_string(sw_search.at(b)),
            sw_prog.count(b) ? std::to_string(sw_prog.at(b)) : "-"});
       const std::string sb = "_" + std::to_string(b);
       if (sw_unopt.count(b))
@@ -150,12 +170,19 @@ int main(int argc, char** argv) {
       json.add(w.name, "fs_profile" + sb,
                static_cast<double>(sw_profile.at(b)));
       json.add(w.name, "fs_graph" + sb, static_cast<double>(sw_graph.at(b)));
+      json.add(w.name, "fs_search" + sb,
+               static_cast<double>(sw_search.at(b)));
       if (sw_prog.count(b))
         json.add(w.name, "fs_prog" + sb, static_cast<double>(sw_prog.at(b)));
     }
     json.add(w.name, "fs_static", static_cast<double>(fs_static));
     json.add(w.name, "fs_profile", static_cast<double>(fs_profile));
     json.add(w.name, "fs_graph", static_cast<double>(fs_graph));
+    json.add(w.name, "fs_search", static_cast<double>(fs_search));
+    json.add(w.name, "search_frontier",
+             static_cast<double>(sp.search.frontier.size()));
+    json.add(w.name, "search_replays",
+             static_cast<double>(sp.search.replays));
     json.add(w.name, "repair_iterations",
              static_cast<double>(rp.iterations.size()));
     json.add(w.name, "repair_converged", rp.converged ? 1.0 : 0.0);
@@ -193,6 +220,26 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(sw_graph.at(b)));
         ok = false;
       }
+    }
+    // The search is seeded by the graph plan and its winner must weakly
+    // dominate the seed — never worse on any workload at any swept size.
+    for (i64 b : blocks) {
+      if (sw_search.at(b) > sw_graph.at(b)) {
+        std::fprintf(
+            stderr,
+            "bench_repair_loop: search regressed %s at block %lld "
+            "(graph %llu, search %llu)\n",
+            w.name.c_str(), static_cast<long long>(b),
+            static_cast<unsigned long long>(sw_graph.at(b)),
+            static_cast<unsigned long long>(sw_search.at(b)));
+        ok = false;
+      }
+    }
+    if (sp.search.frontier.empty()) {
+      std::fprintf(stderr,
+                   "bench_repair_loop: empty Pareto frontier on %s\n",
+                   w.name.c_str());
+      ok = false;
     }
     // The paper's two residual-false-sharing programs must improve under
     // the profile pass, and the graph pass must strictly beat the profile
@@ -234,7 +281,8 @@ int main(int argc, char** argv) {
   json.write(bo.json_path);
   if (!ok) return 1;
   std::printf("repair-loop checks passed: converged everywhere, graph never "
-              "worse than profile at any size, strict graph improvement on "
-              "maxflow and raytrace\n");
+              "worse than profile at any size, search never worse than "
+              "graph at any size, frontier non-empty everywhere, strict "
+              "graph improvement on maxflow and raytrace\n");
   return 0;
 }

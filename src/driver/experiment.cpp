@@ -535,9 +535,14 @@ FalseSharingProfile build_fs_profile(const TraceStudyResult& study,
   FSOPT_CHECK(it != study.by_datum.end(),
               "trace study carries no per-datum attribution for block size " +
                   std::to_string(block_size));
+  return build_fs_profile(it->second, block_size);
+}
+
+FalseSharingProfile build_fs_profile(
+    const std::map<std::string, MissStats>& by_datum, i64 block_size) {
   FalseSharingProfile profile;
   profile.block_size = block_size;
-  for (const auto& [name, stats] : it->second) {
+  for (const auto& [name, stats] : by_datum) {
     if (stats.refs == 0) continue;
     profile.total_fs += stats.false_sharing;
     profile.entries.push_back({name, stats.false_sharing, stats.misses(),
@@ -564,6 +569,11 @@ ConflictProfile build_conflict_profile(const TraceStudyResult& study,
               "trace study carries no conflict graph for block size " +
                   std::to_string(block_size) +
                   " (run with collect_conflicts)");
+  return build_conflict_profile(it->second, block_size, map);
+}
+
+ConflictProfile build_conflict_profile(const ConflictGraph& graph,
+                                       i64 block_size, const AddressMap& map) {
   struct PairKey {
     i64 wo, vo;
     int wp, vp;
@@ -575,7 +585,7 @@ ConflictProfile build_conflict_profile(const TraceStudyResult& study,
     }
   };
   std::map<std::string, std::map<PairKey, u64>> acc;
-  for (const LineConflicts& lc : it->second.lines) {
+  for (const LineConflicts& lc : graph.lines) {
     for (const ConflictEdge& e : lc.edges) {
       int wi = map.index_of(e.writer_word);
       int vi = map.index_of(e.victim_word);
@@ -719,6 +729,114 @@ RepairResult repair_loop(std::string_view source, const CompileOptions& base,
     if (graph) out.conflicts = study.conflicts;
   }
   out.final_compiled = std::move(current);
+  return out;
+}
+
+SearchPlanResult search_plan(std::string_view source,
+                             const CompileOptions& base,
+                             const SearchPlanOptions& opt) {
+  FSOPT_CHECK(base.plan == nullptr,
+              "search_plan owns plan injection; base.plan must be unset");
+  RepairLoopOptions sopt = opt.seed;
+  sopt.planner_name = "graph";
+
+  SearchPlanResult out;
+  out.seed = repair_loop(source, base, sopt);
+
+  CompileOptions copt = base;
+  copt.optimize = true;
+  copt.block_size = sopt.block_size;
+  FrontHalf front = run_front(source, copt.overrides);
+  std::vector<i64> blocks = sopt.sweep_blocks;
+  if (blocks.empty()) blocks = {32, 64, 128, 256};
+  if (std::find(blocks.begin(), blocks.end(), sopt.block_size) ==
+      blocks.end())
+    blocks.push_back(sopt.block_size);
+  std::sort(blocks.begin(), blocks.end());
+
+  // Planner inputs come from the seed loop's final compile — no
+  // re-trace: the loop already kept its per-datum attribution and
+  // conflict graphs.
+  const Compiled& cur = out.seed.final_compiled;
+  AddressMap am = build_address_map(cur);
+  const std::map<std::string, MissStats>& by_datum =
+      out.seed.iterations.empty() ? out.seed.baseline_by_datum
+                                  : out.seed.iterations.back().by_datum;
+  FalseSharingProfile profile = build_fs_profile(by_datum, sopt.block_size);
+  // Union the conflict profiles of *every* swept size: residual false
+  // sharing that only manifests at a non-target block size (e.g. two
+  // 128-padded elements sharing one 256 B unit) must still surface a
+  // search domain, or the search would be blind to exactly the misses
+  // the greedy planner could not remove.
+  ConflictProfile conflicts;
+  conflicts.block_size = sopt.block_size;
+  {
+    struct PairKey {
+      i64 wo, vo;
+      int wp, vp;
+      bool operator<(const PairKey& o) const {
+        if (wo != o.wo) return wo < o.wo;
+        if (vo != o.vo) return vo < o.vo;
+        if (wp != o.wp) return wp < o.wp;
+        return vp < o.vp;
+      }
+    };
+    std::map<std::string, std::map<PairKey, u64>> acc;
+    for (const auto& [b, g] : out.seed.conflicts) {
+      ConflictProfile cp = build_conflict_profile(g, b, am);
+      for (const ConflictProfile::Entry& e : cp.entries)
+        for (const ConflictProfile::Pair& p : e.pairs)
+          acc[e.name][{p.writer_off, p.victim_off, p.writer_proc,
+                       p.victim_proc}] += p.weight;
+    }
+    for (auto& [name, pairs] : acc) {
+      ConflictProfile::Entry en;
+      en.name = name;
+      for (const auto& [k, w] : pairs) {
+        en.pairs.push_back({k.wo, k.vo, k.wp, k.vp, w});
+        en.weight += w;
+      }
+      conflicts.total_weight += en.weight;
+      conflicts.entries.push_back(std::move(en));
+    }
+    std::sort(conflicts.entries.begin(), conflicts.entries.end(),
+              [](const ConflictProfile::Entry& a,
+                 const ConflictProfile::Entry& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.name < b.name;
+              });
+  }
+
+  // Candidate evaluation: recompile against the shared front, record
+  // the trace once, replay every swept size in a single pass.  The
+  // replay engine is bit-identical for any thread count, so the whole
+  // search is too.
+  PlanEvaluator evaluate = [&](const TransformPlan& p) {
+    CompileOptions cand_opt = copt;
+    cand_opt.plan = std::make_shared<TransformPlan>(p);
+    Compiled cand = run_back(front, cand_opt);
+    TraceStudyResult study = run_trace_study(
+        cand, blocks, sopt.l1_bytes, nullptr, sopt.threads, 0, false);
+    PlanScore score;
+    for (i64 b : blocks) {
+      const MissStats& s = study.at(b);
+      score.fs[b] = s.false_sharing;
+      score.cold_capacity[b] = s.cold + s.replacement;
+    }
+    score.footprint = cand.layout.total_bytes();
+    return score;
+  };
+
+  TransformPlan seed_plan = out.seed.final_plan();
+  PlannerInputs in{cur.report,      cur.summary, copt.decision,
+                   sopt.block_size, &profile,    &seed_plan};
+  in.conflicts = &conflicts;
+  SearchPlanner planner(opt.budget, blocks, evaluate);
+  out.search = planner.search(in);
+
+  CompileOptions fin = copt;
+  fin.plan = std::make_shared<TransformPlan>(out.search.best().plan);
+  out.final_compiled = run_back(front, fin);
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include "trace/encode.h"
 #include "trace/shard.h"
 #include "transform/planner.h"
+#include "transform/search.h"
 
 namespace fsopt {
 
@@ -175,6 +176,12 @@ ShardedReplayResult replay_partitioned(const TracePartition& part,
 FalseSharingProfile build_fs_profile(const TraceStudyResult& study,
                                      i64 block_size);
 
+/// Same distillation from a raw per-datum map (RepairResult keeps these
+/// for its final compile, so the search seeding path can rebuild the
+/// planner inputs without re-tracing).
+FalseSharingProfile build_fs_profile(
+    const std::map<std::string, MissStats>& by_datum, i64 block_size);
+
 /// Distill the intra-datum edges of the study's conflict graph at
 /// `block_size` into the datum-relative ConflictProfile the graph planner
 /// consumes.  Edges whose endpoints fall in different address-map ranges
@@ -183,6 +190,12 @@ FalseSharingProfile build_fs_profile(const TraceStudyResult& study,
 /// Throws InternalError when the study carries no conflict graph for
 /// `block_size` (i.e. was not run with collect_conflicts).
 ConflictProfile build_conflict_profile(const TraceStudyResult& study,
+                                       i64 block_size, const AddressMap& map);
+
+/// Same distillation straight from one collected graph (RepairResult
+/// keeps the final compile's graphs, so the search seeding path can
+/// rebuild the planner inputs without re-tracing).
+ConflictProfile build_conflict_profile(const ConflictGraph& graph,
                                        i64 block_size, const AddressMap& map);
 
 struct RepairLoopOptions {
@@ -258,6 +271,46 @@ struct RepairResult {
 /// must be unset (the loop owns plan injection).
 RepairResult repair_loop(std::string_view source, const CompileOptions& base,
                          const RepairLoopOptions& opt = {});
+
+// ---------------------------------------------------------------------------
+// Plan-space search (transform/search.h), driven by real replays.
+//
+// The graph repair loop seeds the search: its converged plan becomes
+// candidate 0, so the search result can never be worse than the greedy
+// planner at any swept block size — per-block winners are argmins over
+// evaluated candidates and the seed is always evaluated.  Every further
+// candidate is compiled against the same shared front half (symbol ids
+// stay stable, so plans remain valid), its trace recorded once, and all
+// swept block sizes replayed in a single pass (replay_multi).
+// ---------------------------------------------------------------------------
+
+struct SearchPlanOptions {
+  /// The seeding repair loop (planner_name is forced to "graph"; its
+  /// block_size / sweep_blocks / l1_bytes / threads also govern the
+  /// candidate evaluations).
+  RepairLoopOptions seed;
+  SearchBudget budget;
+};
+
+struct SearchPlanResult {
+  /// The graph repair loop that produced the seed plan.
+  RepairResult seed;
+  /// The full search record: every evaluated candidate, the per-block
+  /// winners and the Pareto frontier (search_result_to_json exports it).
+  SearchResult search;
+  /// Compile of the best-overall plan (for --plan-out, further study).
+  Compiled final_compiled;
+
+  const TransformPlan& final_plan() const { return search.best().plan; }
+  /// Measured false-sharing misses of the winning plan per swept size.
+  const std::map<i64, u64>& final_fs() const { return search.best().score.fs; }
+};
+
+/// Seed from the graph repair loop, then search the plan space under
+/// `opt.budget`.  `base.plan` must be unset, as for repair_loop.
+SearchPlanResult search_plan(std::string_view source,
+                             const CompileOptions& base,
+                             const SearchPlanOptions& opt = {});
 
 // ---------------------------------------------------------------------------
 // Parallel workload-matrix compilation.

@@ -108,7 +108,10 @@ LayoutPlan build_layout(const Program& prog, const TransformSet& transforms,
         align = std::max(align, a);
       }
       i64 elem = round_up(std::max<i64>(off, 1), align);
-      cursor = round_up(cursor, align);
+      // Block-align the base: the planner's separation check reasons
+      // about which block each repacked field lands in, which is only
+      // sound when offset arithmetic starts at a block boundary.
+      cursor = round_up(cursor, std::max(align, B));
       DatumLayout l;
       l.base = cursor;
       l.field_offsets = offs;

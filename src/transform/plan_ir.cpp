@@ -187,9 +187,8 @@ i64 int_member(const json::Value& obj, const char* key, const char* what) {
 
 }  // namespace
 
-std::string plan_to_json(const TransformPlan& plan, const Program& prog) {
-  std::string out;
-  json::Writer w(&out, 2);
+void plan_to_writer(json::Writer& w, const TransformPlan& plan,
+                    const Program& prog) {
   w.begin_object();
   w.key("plan_version").value(1);
   w.key("planner").value(plan.planner);
@@ -236,6 +235,12 @@ std::string plan_to_json(const TransformPlan& plan, const Program& prog) {
   }
   w.end_array();
   w.end_object();
+}
+
+std::string plan_to_json(const TransformPlan& plan, const Program& prog) {
+  std::string out;
+  json::Writer w(&out, 2);
+  plan_to_writer(w, plan, prog);
   return out;
 }
 

@@ -125,6 +125,17 @@ using TransformSet = TransformPlan;
 
 std::string plan_to_json(const TransformPlan& plan, const Program& prog);
 
+namespace json {
+class Writer;
+}
+
+/// Emit the plan as one JSON object into an in-progress document — the
+/// same schema as plan_to_json (which delegates here), so plans can be
+/// embedded in larger documents (the search planner's Pareto export)
+/// and still parse with plan_from_json.
+void plan_to_writer(json::Writer& w, const TransformPlan& plan,
+                    const Program& prog);
+
 /// Parse a plan written by plan_to_json (or hand-edited).  Throws
 /// InternalError naming the offending field on malformed documents,
 /// unknown symbols/fields or enum spellings.

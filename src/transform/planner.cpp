@@ -1,5 +1,6 @@
 #include "transform/planner.h"
 
+#include <algorithm>
 #include <memory>
 #include <set>
 
@@ -220,6 +221,99 @@ TransformPlan GraphPlanner::plan(const PlannerInputs& in) const {
         hot.insert(fi);
       }
       if (!mapped || hot.empty()) continue;
+
+      // A permutation is free: when re-packing the fields so each
+      // affinity class occupies its own contiguous run provably puts
+      // every cross-class field pair into distinct coherence units at
+      // the target block size, prefer kFieldReorder over splitting — no
+      // footprint growth, and the cold fields keep riding along.
+      if (opt_.try_field_reorder && st.fields.size() >= 2) {
+        // Field -> owning processor class, by max incident edge weight
+        // (ties to the lowest processor, deterministically).
+        std::map<int, std::map<int, u64>> field_weight;
+        auto field_of = [&](i64 off) {
+          i64 rel = off % gs->elem.byte_size();
+          for (size_t f = 0; f < st.fields.size(); ++f)
+            if (rel >= st.fields[f].offset &&
+                rel < st.fields[f].offset + st.fields[f].byte_size())
+              return static_cast<int>(f);
+          return -1;
+        };
+        for (const ConflictProfile::Pair& p : e.pairs) {
+          if (int fi = field_of(p.writer_off); fi >= 0)
+            field_weight[fi][p.writer_proc] += p.weight;
+          if (int fi = field_of(p.victim_off); fi >= 0)
+            field_weight[fi][p.victim_proc] += p.weight;
+        }
+        auto owner_of = [&](int fi) {
+          auto it = field_weight.find(fi);
+          if (it == field_weight.end()) return -1;  // cold field
+          int best = -1;
+          u64 best_w = 0;
+          for (const auto& [proc, w] : it->second)
+            if (best < 0 || w > best_w) {
+              best = proc;
+              best_w = w;
+            }
+          return best;
+        };
+        std::set<int> classes;
+        for (const auto& [fi, procs] : field_weight) {
+          (void)procs;
+          classes.insert(owner_of(fi));
+        }
+        if (classes.size() >= 2) {
+          // Group conflicting fields by owner class (cold fields last),
+          // stable within a class so the permutation is deterministic.
+          std::vector<int> perm(st.fields.size());
+          for (size_t f = 0; f < perm.size(); ++f)
+            perm[f] = static_cast<int>(f);
+          std::stable_sort(perm.begin(), perm.end(), [&](int a, int b) {
+            int oa = owner_of(a);
+            int ob = owner_of(b);
+            u64 ka = oa < 0 ? ~u64{0} : static_cast<u64>(oa);
+            u64 kb = ob < 0 ? ~u64{0} : static_cast<u64>(ob);
+            return ka < kb;
+          });
+          // Repack exactly as build_layout will (natural alignment in
+          // permutation order, element base block-aligned) and require
+          // every cross-class pair to occupy disjoint block ranges in
+          // every element.
+          std::vector<i64> offs(st.fields.size(), 0);
+          i64 off = 0;
+          i64 align = 1;
+          for (int fi : perm) {
+            const StructField& f = st.fields[static_cast<size_t>(fi)];
+            i64 a = scalar_size(f.kind);
+            off = round_up(off, a);
+            offs[static_cast<size_t>(fi)] = off;
+            off += f.byte_size();
+            align = std::max(align, a);
+          }
+          i64 elem = round_up(std::max<i64>(off, 1), align);
+          i64 B = in.block_size;
+          bool separated = gs->elem_count() == 1 || elem % B == 0;
+          for (size_t i = 0; i < st.fields.size() && separated; ++i)
+            for (size_t j = i + 1; j < st.fields.size() && separated;
+                 ++j) {
+              int oi = owner_of(static_cast<int>(i));
+              int oj = owner_of(static_cast<int>(j));
+              if (oi < 0 || oj < 0 || oi == oj) continue;
+              i64 hi_i = (offs[i] + st.fields[i].byte_size() - 1) / B;
+              i64 hi_j = (offs[j] + st.fields[j].byte_size() - 1) / B;
+              if (hi_i >= offs[j] / B && hi_j >= offs[i] / B)
+                separated = false;
+            }
+          if (separated) {
+            TransformDecision d{key, TransformKind::kFieldReorder, -1,
+                                PartitionShape::kBlocked, 1, reason, {}};
+            d.fields = std::move(perm);
+            out.decisions.push_back(std::move(d));
+            continue;
+          }
+        }
+      }
+
       i64 footprint =
           static_cast<i64>(hot.size()) * gs->elem_count() * in.block_size;
       if (footprint > opt_.profile.pad_footprint_limit) continue;
@@ -253,7 +347,9 @@ std::unique_ptr<Planner> make_planner(const std::string& name) {
   if (name == "profile") return std::make_unique<ProfilePlanner>();
   if (name == "graph") return std::make_unique<GraphPlanner>();
   throw InternalError("unknown planner '" + name +
-                      "' (expected static, profile or graph)");
+                      "' (expected static, profile or graph; the search "
+                      "planner needs a replay evaluator — construct "
+                      "SearchPlanner directly or use driver search_plan)");
 }
 
 }  // namespace fsopt

@@ -151,6 +151,11 @@ struct GraphPlannerOptions {
   /// defaults to the largest block of the standard sweep, not the plan's
   /// own block size.
   i64 pad_stride = 256;
+  /// Prefer a free field permutation over hot/cold splitting when
+  /// re-packing the fields by affinity class provably separates every
+  /// cross-class pair into distinct coherence units at the target block
+  /// size (kFieldReorder costs no footprint and no indirection region).
+  bool try_field_reorder = true;
 };
 
 /// Conflict-graph-guided repair: runs the profile pass, then partitions

@@ -20,7 +20,20 @@
 //                       each datum's words by processor affinity, adds
 //                       intra-datum decisions (hot/cold split, intra-pad,
 //                       barrier padding) and scores candidate plans
-//                       across the whole block-size sweep
+//                       across the whole block-size sweep;
+//                       search: seed from the graph loop, then search the
+//                       plan space directly — every candidate plan is
+//                       compiled, traced and replayed across the sweep,
+//                       ranked by (false-sharing misses, spatial-locality
+//                       loss) with deterministic tie-breaks
+//   --search-budget N   max candidate replays for --planner search beyond
+//                       the seed (default 24; FSOPT_SEARCH_BUDGET env is
+//                       the fallback; 0 degrades to the graph plan)
+//   --pareto-out PATH   write the search record as versioned JSON
+//                       (search_version 1): best plan overall, best plan
+//                       per swept block size, and the Pareto frontier
+//                       over the two objective axes with embedded plans;
+//                       requires --planner search
 //   --conflict-graph-out PATH
 //                       write the final compile's word-granularity
 //                       conflict graphs (one JSON object per swept block
@@ -90,6 +103,8 @@ struct Cli {
   std::string plan_out;
   std::string plan_in;
   std::string conflict_graph_out;
+  std::string pareto_out;
+  int search_budget = -1;  // -1: FSOPT_SEARCH_BUDGET env, else default
   bool plan_diff = false;
   bool report = false;
   bool transforms = false;
@@ -111,7 +126,8 @@ struct Cli {
                "usage: fsoptc FILE.ppl [--nprocs N] [--param K=V] "
                "[--block N]\n"
                "              [--no-optimize] [--workload NAME]\n"
-               "              [--planner static|profile|graph]\n"
+               "              [--planner static|profile|graph|search]\n"
+               "              [--search-budget N] [--pareto-out PATH]\n"
                "              [--plan-out PATH] [--plan-in PATH]\n"
                "              [--plan-diff] [--conflict-graph-out PATH]\n"
                "              [--report] [--transforms]\n"
@@ -149,8 +165,14 @@ Cli parse_cli(int argc, char** argv) {
     } else if (a == "--planner") {
       cli.planner = next();
       if (cli.planner != "static" && cli.planner != "profile" &&
-          cli.planner != "graph")
-        usage("--planner expects static, profile or graph");
+          cli.planner != "graph" && cli.planner != "search")
+        usage("--planner expects static, profile, graph or search");
+    } else if (a == "--search-budget") {
+      cli.search_budget = std::atoi(next().c_str());
+      if (cli.search_budget < 0)
+        usage("--search-budget expects a non-negative integer");
+    } else if (a == "--pareto-out") {
+      cli.pareto_out = next();
     } else if (a == "--plan-out") {
       cli.plan_out = next();
     } else if (a == "--plan-in") {
@@ -211,10 +233,14 @@ Cli parse_cli(int argc, char** argv) {
     usage("--plan-in and --planner are mutually exclusive");
   if (!cli.conflict_graph_out.empty() && cli.planner != "graph")
     usage("--conflict-graph-out requires --planner graph");
+  if (!cli.pareto_out.empty() && cli.planner != "search")
+    usage("--pareto-out requires --planner search");
+  if (cli.search_budget >= 0 && cli.planner != "search")
+    usage("--search-budget requires --planner search");
   if (!cli.report && !cli.transforms && !cli.rewrite && !cli.run &&
       !cli.miss && !cli.ksr && !cli.disasm && !cli.diagnose &&
       !cli.timings && cli.plan_out.empty() && !cli.plan_diff &&
-      cli.conflict_graph_out.empty()) {
+      cli.conflict_graph_out.empty() && cli.pareto_out.empty()) {
     cli.transforms = cli.miss = cli.ksr = true;
   }
   return cli;
@@ -317,6 +343,38 @@ int main(int argc, char** argv) {
         std::printf("--- plan diff (static -> %s) ---\n%s",
                     cli.planner.c_str(),
                     plan_diff(rr.static_plan, rr.final_plan())
+                        .render(c.summary)
+                        .c_str());
+    } else if (cli.planner == "search") {
+      SearchPlanOptions so;
+      so.seed.block_size = cli.options.block_size;
+      so.budget = search_budget_from_env();
+      if (cli.search_budget >= 0) so.budget.max_replays = cli.search_budget;
+      SearchPlanResult sr = search_plan(source, cli.options, so);
+      c = std::move(sr.final_compiled);
+      FILE* narrate = cli.diagnose_json ? stderr : stdout;
+      std::fprintf(
+          narrate,
+          "plan search: %llu candidate replay(s) (%llu generated, %llu "
+          "pruned%s), frontier size %zu\n",
+          static_cast<unsigned long long>(sr.search.replays),
+          static_cast<unsigned long long>(sr.search.generated),
+          static_cast<unsigned long long>(sr.search.pruned),
+          sr.search.exhaustive ? ", exhaustive" : "",
+          sr.search.frontier.size());
+      for (const auto& [b, fs] : sr.search.best().score.fs)
+        std::fprintf(narrate,
+                     "  sweep block %4lld: false-sharing %llu -> %llu\n",
+                     static_cast<long long>(b),
+                     static_cast<unsigned long long>(
+                         sr.seed.baseline_sweep.at(b).false_sharing),
+                     static_cast<unsigned long long>(fs));
+      if (!cli.pareto_out.empty())
+        write_file(cli.pareto_out,
+                   search_result_to_json(sr.search, *c.prog));
+      if (cli.plan_diff)
+        std::printf("--- plan diff (static -> search) ---\n%s",
+                    plan_diff(sr.seed.static_plan, sr.final_plan())
                         .render(c.summary)
                         .c_str());
     } else {
